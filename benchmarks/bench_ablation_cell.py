@@ -1,0 +1,64 @@
+"""Architecture ablation — LSTM vs GRU cells (DESIGN.md §7).
+
+The paper commits to LSTM; related work (Section VI) uses "LSTM or
+LSTM-variants".  This bench trains both cell types with identical
+hyperparameters on the Google 30-minute workload and compares
+cross-validation MAPE and training cost.  Expected: comparable accuracy
+with the GRU training faster (25% fewer parameters per layer).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core import MinMaxScaler, make_windows, windows_for_range
+from repro.metrics import mape
+from repro.nn import LSTMRegressor
+from repro.traces import get_configuration
+
+
+def _prepare(workload: str = "gl-30m", n: int = 24):
+    series = get_configuration(workload).load()
+    i_train = int(0.6 * len(series))
+    i_val = int(0.8 * len(series))
+    scaler = MinMaxScaler().fit(series[:i_train])
+    scaled = scaler.transform(series)
+    X_train, y_train = make_windows(scaled[:i_train], n)
+    X_val, y_val = windows_for_range(scaled, n, i_train, i_val)
+    return scaler, X_train, y_train, X_val, y_val
+
+
+def test_lstm_vs_gru_cell(benchmark):
+    scaler, X_train, y_train, X_val, y_val = _prepare()
+    results = {}
+
+    def train_both():
+        out = {}
+        for cell in ("lstm", "gru"):
+            model = LSTMRegressor(hidden_size=16, num_layers=1, seed=0, cell=cell)
+            t0 = time.perf_counter()
+            model.fit(
+                X_train, y_train,
+                epochs=20, batch_size=32, lr=1e-3,
+                validation=(X_val, y_val), patience=20,
+            )
+            seconds = time.perf_counter() - t0
+            pred = np.maximum(scaler.inverse_transform(model.predict(X_val)), 0.0)
+            actual = scaler.inverse_transform(y_val)
+            out[cell] = (mape(pred, actual), seconds, model.n_params())
+        return out
+
+    results = benchmark.pedantic(train_both, rounds=1, iterations=1)
+    lstm_mape, lstm_s, lstm_p = results["lstm"]
+    gru_mape, gru_s, gru_p = results["gru"]
+    print(
+        f"\n[Ablation: cell] LSTM {lstm_mape:.2f}% ({lstm_s:.1f}s, {lstm_p} params) "
+        f"vs GRU {gru_mape:.2f}% ({gru_s:.1f}s, {gru_p} params)"
+    )
+    assert gru_p < lstm_p
+    # Both must be in the workable band; neither should collapse.
+    assert lstm_mape < 60.0 and gru_mape < 60.0
+    # Comparable accuracy: within 2x of each other.
+    assert max(lstm_mape, gru_mape) < 2.0 * min(lstm_mape, gru_mape) + 2.0

@@ -1,0 +1,68 @@
+"""Extension bench — online adaptive modeling (paper Section V).
+
+The paper leaves drift adaptation as future work; DESIGN.md §7 includes
+it in the extension scope.  Scenario: a workload whose pattern flips
+mid-stream (level x5, period halved).  A frozen LoadDynamics predictor
+trained before the flip must degrade; the adaptive variant must detect
+the drift, re-run the optimization, and recover.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import walk_forward
+from repro.bayesopt import IntParam, SearchSpace
+from repro.core import AdaptiveLoadDynamics, FrameworkSettings, LoadDynamics
+from repro.metrics import mape
+
+
+def _regime_change_series(seed: int = 11) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    t1 = np.arange(240)
+    a = 100 + 30 * np.sin(2 * np.pi * t1 / 24) + rng.normal(0, 2, 240)
+    t2 = np.arange(240)
+    b = 500 + 150 * np.sin(2 * np.pi * t2 / 12) + rng.normal(0, 10, 240)
+    return np.concatenate([a, b])
+
+
+def test_adaptive_recovers_from_pattern_change(benchmark):
+    series = _regime_change_series()
+    # A space wide enough to cover both seasonal periods (24 and 12).
+    space = SearchSpace(
+        [
+            IntParam("history_len", 1, 24, log=True),
+            IntParam("cell_size", 2, 12),
+            IntParam("num_layers", 1, 1),
+            IntParam("batch_size", 8, 32, log=True),
+        ]
+    )
+    settings = FrameworkSettings.tiny(max_iters=4, epochs=25)
+
+    frozen, _ = LoadDynamics(space=space, settings=settings).fit(series[:240])
+
+    def run_adaptive():
+        adaptive = AdaptiveLoadDynamics(
+            space=space,
+            settings=settings,
+            drift_window=8,
+            drift_factor=2.0,
+            min_refit_gap=25,
+            max_history=200,
+        )
+        preds = walk_forward(adaptive, series, 200, refit_every=1)
+        return adaptive, preds
+
+    adaptive, preds = benchmark.pedantic(run_adaptive, rounds=1, iterations=1)
+
+    eval_start = 420  # the recovery phase (refit windows now mostly new data)
+    adaptive_mape = mape(preds[eval_start - 200 :], series[eval_start:])
+    frozen_mape = mape(frozen.predict_series(series, eval_start), series[eval_start:])
+    print(
+        f"\n[§V extension] post-drift MAPE: adaptive={adaptive_mape:.2f}% "
+        f"(refits={adaptive.n_refits}) vs frozen={frozen_mape:.2f}%"
+    )
+    assert adaptive.n_refits >= 2, "drift was never detected"
+    assert adaptive_mape < 0.5 * frozen_mape, (
+        "adaptation must at least halve the frozen predictor's error"
+    )

@@ -1,0 +1,59 @@
+"""Fig. 10 — the auto-scaling case study (Azure 60-min, scaled JARs).
+
+Paper shape: LoadDynamics-driven auto-scaling beats the Wood et al.
+predictor decisively on turnaround and both provisioning rates, and
+reduces VM over-provisioning versus CloudInsight (paper: 4.8% less).
+The oracle policy bounds all predictors from below.
+
+Known deviation (recorded in EXPERIMENTS.md): with our synthetic Azure
+trace CloudInsight's MAPE deficit versus LoadDynamics is ~2 points
+(paper: >4), and its positive prediction bias hedges cold starts, so the
+paper's turnaround/under-provisioning win over CloudInsight does not
+fully reproduce; the over-provisioning and total-accuracy wins do.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import bench_max_eval
+from repro.experiments import format_table, run_fig10
+
+
+def test_fig10_autoscaling(benchmark):
+    rows = benchmark.pedantic(
+        run_fig10, kwargs={"max_eval": bench_max_eval()}, rounds=1, iterations=1
+    )
+    print("\n[Fig. 10] auto-scaling on Azure-60m (JARs scaled down):")
+    print(
+        format_table(
+            rows,
+            columns=[
+                "policy",
+                "mean_turnaround_seconds",
+                "underprovision_rate_pct",
+                "overprovision_rate_pct",
+                "vm_hours",
+            ],
+        )
+    )
+
+    by = {r["policy"]: r for r in rows}
+    ld, ci, wood = by["loaddynamics"], by["cloudinsight"], by["wood"]
+    oracle = by["oracle"]
+
+    # vs Wood: LoadDynamics wins all three panels (paper: 38.1% faster,
+    # 10 pts less under-, 17.2 pts less over-provisioning).
+    assert ld["mean_turnaround_seconds"] < wood["mean_turnaround_seconds"]
+    assert ld["underprovision_rate_pct"] < wood["underprovision_rate_pct"]
+    assert ld["overprovision_rate_pct"] < wood["overprovision_rate_pct"]
+
+    # vs CloudInsight: the over-provisioning reduction reproduces
+    # (paper: 4.8 pts lower).
+    assert ld["overprovision_rate_pct"] < ci["overprovision_rate_pct"]
+
+    # Oracle lower-bounds every policy.
+    for r in rows:
+        assert (
+            r["mean_turnaround_seconds"]
+            >= oracle["mean_turnaround_seconds"] - 1e-9
+        )
+        assert r["vm_hours"] >= oracle["vm_hours"] - 1e-9

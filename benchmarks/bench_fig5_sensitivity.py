@@ -1,0 +1,46 @@
+"""Fig. 5 — LSTM hyperparameter sensitivity on the Google workload.
+
+Paper shape: across 100 hyperparameter combinations the best and worst
+MAPE differ by ~3x — the case for automatic per-workload tuning.  The
+bench samples ``REPRO_BENCH_FIG5_MODELS`` (default 30) combinations from
+the reduced Table III space; the spread ratio is checked, not the count.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.core import FrameworkSettings
+from repro.experiments import run_fig5
+
+
+def test_fig5_hyperparameter_spread(benchmark):
+    n_models = int(os.environ.get("REPRO_BENCH_FIG5_MODELS", "30"))
+    out = benchmark.pedantic(
+        run_fig5,
+        kwargs={
+            "n_models": n_models,
+            "workload": "gl-30m",
+            "budget": "reduced",
+            "settings": FrameworkSettings.reduced(max_iters=1, epochs=20),
+            "seed": 0,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print(
+        f"\n[Fig. 5] {out['n_feasible']} LSTM models on gl-30m: "
+        f"min={out['min']:.2f}%  median={out['median']:.2f}%  "
+        f"max={out['max']:.2f}%  spread={out['spread_ratio']:.1f}x"
+    )
+    deciles = np.percentile(out["mapes_sorted"], [0, 25, 50, 75, 100])
+    print("         quartiles:", np.round(deciles, 2))
+
+    assert out["n_feasible"] >= max(10, n_models // 2)
+    # The paper reports a ~3x spread over 100 combos of the full Table III
+    # space.  Under the reduced space and our trace's ~14% noise floor the
+    # measured spread is ~1.9x (recorded in EXPERIMENTS.md); require 1.5x —
+    # hyperparameter choice must still change the error substantially.
+    assert out["spread_ratio"] >= 1.5

@@ -1,0 +1,53 @@
+"""Fig. 9 — the headline result: LoadDynamics vs all baselines on the 14
+workload configurations.
+
+Paper shape to reproduce (Section IV-B):
+
+* LoadDynamics has the lowest *average* MAPE of the framework baselines
+  (paper: 18% vs 24.7/32.1/32.5);
+* LoadDynamics lands within a few points of the brute-force-searched
+  LSTM (paper: within 1%);
+* errors rise at smaller intervals for the small-JAR traces (FB);
+* Wikipedia is the easiest workload (paper: ~1%).
+
+Budgets are reduced (maxIters=12 vs paper 100; truncated brute force);
+see DESIGN.md §6 and benchmarks/conftest.py for the environment knobs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import format_table
+
+
+def test_fig9_accuracy_comparison(benchmark, fig9_result):
+    # fig9_result is session-cached; benchmark times the (cheap) summary
+    # assembly while the heavy sweep cost is reported by the fixture run.
+    avg = benchmark.pedantic(fig9_result.average_row, rounds=1, iterations=1)
+    rows = fig9_result.rows + [avg]
+    print("\n[Fig. 9] MAPE (%) per workload configuration:")
+    print(format_table(rows))
+
+    methods = ("cloudinsight", "cloudscale", "wood")
+    # Headline: LoadDynamics wins on average against every framework baseline.
+    for m in methods:
+        assert avg["loaddynamics"] < avg[m], (
+            f"LoadDynamics average {avg['loaddynamics']:.2f}% not below "
+            f"{m} {avg[m]:.2f}%"
+        )
+    # Near-brute-force claim: within 5 points under the truncated budget
+    # (paper: within 1% under a 1-day-to-6-week exhaustive search).
+    if "lstm_bruteforce" in avg and np.isfinite(avg["lstm_bruteforce"]):
+        assert avg["loaddynamics"] <= avg["lstm_bruteforce"] + 5.0
+
+    by = {r["workload"]: r for r in fig9_result.rows}
+    # Wikipedia is the easiest trace for LoadDynamics.
+    wiki_keys = [k for k in by if k.startswith("wiki")]
+    other_keys = [k for k in by if not k.startswith("wiki")]
+    if wiki_keys and other_keys:
+        best_wiki = min(by[k]["loaddynamics"] for k in wiki_keys)
+        assert best_wiki <= min(by[k]["loaddynamics"] for k in other_keys)
+    # Small intervals are harder for the small-JAR Facebook trace.
+    if "fb-5m" in by and "fb-10m" in by:
+        assert by["fb-5m"]["loaddynamics"] >= 0.8 * by["fb-10m"]["loaddynamics"]

@@ -1,0 +1,68 @@
+"""Section IV-B latency claim — "less than 4.78 ms" per inference.
+
+Trains one representative predictor on the Google 30-minute workload,
+then benchmarks the deployed one-step-ahead path
+(:meth:`LoadDynamicsPredictor.predict_next`) and the batched test-window
+path.  Also microbenchmarks the raw LSTM forward pass and a training
+step, the substrate costs everything else inherits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import FrameworkSettings, LoadDynamics, search_space_for
+from repro.nn import LSTMRegressor
+from repro.traces import get_configuration
+
+
+@pytest.fixture(scope="module")
+def deployed():
+    series = get_configuration("gl-30m").load()
+    ld = LoadDynamics(
+        space=search_space_for("gl", "reduced"),
+        settings=FrameworkSettings.reduced(max_iters=6, epochs=20),
+    )
+    predictor, _ = ld.fit(series)
+    return predictor, series
+
+
+def test_predict_next_latency(benchmark, deployed):
+    predictor, series = deployed
+    value = benchmark(predictor.predict_next, series)
+    assert np.isfinite(value)
+    mean_ms = benchmark.stats["mean"] * 1e3
+    print(f"\n[§IV-B] one-step inference: {mean_ms:.3f} ms "
+          f"(paper claims < 4.78 ms)")
+    assert mean_ms < 4.78 * 5  # generous CI-machine allowance
+
+
+def test_batched_prediction_throughput(benchmark, deployed):
+    predictor, series = deployed
+    start = len(series) - 150
+    preds = benchmark(predictor.predict_series, series, start)
+    assert preds.shape == (150,)
+    per_interval_ms = benchmark.stats["mean"] * 1e3 / 150
+    print(f"\n[§IV-B] batched inference: {per_interval_ms:.4f} ms/interval")
+
+
+def test_lstm_forward_microbench(benchmark, rng_seed=3):
+    rng = np.random.default_rng(rng_seed)
+    model = LSTMRegressor(hidden_size=32, num_layers=2, seed=0)
+    x = rng.standard_normal((64, 48, 1))
+    out = benchmark(model.predict, x)
+    assert out.shape == (64,)
+
+
+def test_lstm_training_step_microbench(benchmark):
+    rng = np.random.default_rng(4)
+    x = rng.standard_normal((128, 24, 1))
+    y = rng.standard_normal(128)
+
+    def one_epoch():
+        model = LSTMRegressor(hidden_size=16, num_layers=1, seed=0)
+        model.fit(x, y, epochs=1, batch_size=32, lr=1e-3)
+        return model
+
+    benchmark.pedantic(one_epoch, rounds=3, iterations=1)

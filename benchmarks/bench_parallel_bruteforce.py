@@ -1,0 +1,46 @@
+"""Extension bench — parallel brute-force search scaling.
+
+The paper's brute-force baseline ran for up to six weeks on a 16-core
+Xeon; the work is embarrassingly parallel over hyperparameter
+combinations.  This bench verifies the parallel sweep (a) selects the
+same winner as the serial sweep (determinism across worker counts) and
+(b) reports the wall-clock for both so scaling regressions are visible.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.core import FrameworkSettings, search_space_for
+from repro.core.bruteforce import brute_force_search
+from repro.traces import get_configuration
+
+
+def test_parallel_bruteforce_consistency(benchmark):
+    series = get_configuration("fb-10m").load()
+    space = search_space_for("fb", "tiny")
+    settings = FrameworkSettings.tiny(epochs=10)
+    kwargs = dict(points_per_dim=2, max_trials=12)
+
+    t0 = time.perf_counter()
+    serial = brute_force_search(series, space, settings, n_workers=1, **kwargs)
+    serial_s = time.perf_counter() - t0
+
+    workers = min(os.cpu_count() or 1, 4)
+
+    def parallel_run():
+        return brute_force_search(series, space, settings, n_workers=workers, **kwargs)
+
+    parallel = benchmark.pedantic(parallel_run, rounds=1, iterations=1)
+    parallel_s = benchmark.stats["mean"]
+
+    print(
+        f"\n[brute force] {serial.n_evaluated} trials: serial {serial_s:.1f}s, "
+        f"{workers}-worker {parallel_s:.1f}s"
+    )
+    assert parallel.best_hyperparameters == serial.best_hyperparameters
+    assert parallel.best_validation_mape == serial.best_validation_mape
+    assert np.isfinite(parallel.best_validation_mape)

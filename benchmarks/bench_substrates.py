@@ -1,0 +1,77 @@
+"""Substrate microbenchmarks: GP fit, BO suggestion, council step, tree fit.
+
+Not tied to a specific paper figure — these track the cost of the pieces
+the experiments are assembled from, so performance regressions surface
+in review rather than as a mysteriously slow Fig. 9 sweep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import CloudInsight, walk_forward
+from repro.bayesopt import BayesianOptimizer
+from repro.core import search_space_for
+from repro.gp import GaussianProcessRegressor, Matern52
+from repro.ml import RandomForestRegressor
+
+
+@pytest.fixture(scope="module")
+def gp_data():
+    rng = np.random.default_rng(0)
+    X = rng.uniform(0, 1, (60, 4))
+    y = np.sin(4 * X[:, 0]) + X[:, 1] * 0.5 + 0.05 * rng.standard_normal(60)
+    return X, y
+
+
+def test_gp_fit_with_hyperopt(benchmark, gp_data):
+    X, y = gp_data
+
+    def fit():
+        gp = GaussianProcessRegressor(
+            kernel=Matern52(ard=True, n_dims=4), n_restarts=1, seed=0
+        )
+        return gp.fit(X, y)
+
+    gp = benchmark.pedantic(fit, rounds=3, iterations=1)
+    assert gp.is_fitted
+
+
+def test_bo_suggestion_cost(benchmark, gp_data):
+    """Cost of one GP-backed suggestion after 20 observed trials."""
+    space = search_space_for("gl", "reduced")
+    bo = BayesianOptimizer(space, n_initial=5, seed=0)
+    rng = np.random.default_rng(1)
+    for cfg in space.sample(rng, 20):
+        bo.tell(cfg, float(rng.uniform(5, 50)))
+
+    cfg = benchmark(bo.suggest)
+    space.validate(cfg)
+
+
+def test_cloudinsight_interval_cost(benchmark):
+    """Per-interval cost of the 21-expert council on a 400-point history."""
+    rng = np.random.default_rng(2)
+    series = np.maximum(100 + 20 * rng.standard_normal(400).cumsum() * 0.1, 10)
+    ci = CloudInsight(profile="fast")
+    walk_forward(ci, series, 380, 390)  # warm the council
+
+    def one_interval():
+        ci.fit(series[:395])
+        return ci.predict_next(series[:395])
+
+    value = benchmark.pedantic(one_interval, rounds=3, iterations=1)
+    assert np.isfinite(value)
+
+
+def test_random_forest_fit_cost(benchmark):
+    rng = np.random.default_rng(3)
+    X = rng.uniform(0, 1, (400, 8))
+    y = rng.uniform(0, 1, 400)
+
+    def fit():
+        return RandomForestRegressor(n_estimators=10, max_depth=10, seed=0).fit(X, y)
+
+    model = benchmark.pedantic(fit, rounds=3, iterations=1)
+    assert model.predict(X[:5]).shape == (5,)

@@ -1,0 +1,66 @@
+"""Fig. 1 / Fig. 8 — trace shapes.
+
+The paper's first two figures just *display* the five traces; the
+checkable content is their qualitative statistics (magnitude, burstiness,
+seasonality).  This bench regenerates those rows and times trace
+generation + aggregation (the substrate every experiment touches).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import format_table
+from repro.traces import TRACE_NAMES, get_trace
+
+
+def _shape_rows() -> list[dict]:
+    rows = []
+    for name in TRACE_NAMES:
+        trace = get_trace(name)
+        jars = trace.at_interval(30 if name != "fb" else 5)
+        x = jars - jars.mean()
+        lag = 48 if name != "fb" else 12
+        ac = float(np.dot(x[:-lag], x[lag:]) / np.dot(x, x)) if len(x) > lag else 0.0
+        rows.append(
+            {
+                "trace": name,
+                "category": trace.category,
+                "minutes": trace.minutes,
+                "mean_jar": float(jars.mean()),
+                "cv": float(jars.std() / jars.mean()),
+                "daily_autocorr": ac,
+            }
+        )
+    return rows
+
+
+def test_fig1_fig8_trace_shapes(benchmark):
+    rows = benchmark.pedantic(_shape_rows, rounds=1, iterations=1)
+    print("\n[Fig. 1/8] synthetic trace shapes:")
+    print(format_table(rows))
+
+    by = {r["trace"]: r for r in rows}
+    # Wikipedia: millions of requests, strong seasonality (paper Fig. 1b).
+    assert by["wiki"]["mean_jar"] > 1e6
+    assert by["wiki"]["daily_autocorr"] > 0.5
+    # Google: large JARs, weak seasonality (paper Fig. 1a).
+    assert by["gl"]["mean_jar"] > 1e5
+    assert by["gl"]["daily_autocorr"] < by["wiki"]["daily_autocorr"]
+    # Facebook: single day, highly fluctuating (paper Fig. 1c).
+    assert by["fb"]["minutes"] == 1440
+    assert by["fb"]["cv"] > 0.5
+    # Azure / LCG: small-to-moderate JARs (Table I narrative).
+    assert by["az"]["mean_jar"] < by["gl"]["mean_jar"]
+    assert by["lcg"]["cv"] > 0.4
+
+
+def test_trace_generation_throughput(benchmark):
+    """Microbench: regenerate + aggregate the Google trace."""
+    from repro.traces.synthetic import google_trace
+
+    def build():
+        return google_trace(days=7, seed=123).at_interval(30)
+
+    jars = benchmark(build)
+    assert len(jars) == 7 * 48

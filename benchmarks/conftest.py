@@ -1,0 +1,52 @@
+"""Shared fixtures for the benchmark harness.
+
+The heavyweight Fig. 9 sweep (14 workload configurations x 5 methods)
+runs once per session and is shared by the Fig. 9 and Table IV benches.
+
+Budgets are the CI-scale defaults of DESIGN.md §6; override via
+environment variables:
+
+* ``REPRO_BENCH_CONFIGS`` — comma-separated configuration keys (default:
+  all 14);
+* ``REPRO_BENCH_MAX_ITERS`` — BO iterations per config (default 10;
+  paper used 100);
+* ``REPRO_BENCH_MAX_EVAL`` — scored test intervals per config (default
+  100).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core import FrameworkSettings
+from repro.experiments import run_fig9
+
+
+def bench_configs() -> list[str] | None:
+    env = os.environ.get("REPRO_BENCH_CONFIGS")
+    if env:
+        return [k.strip() for k in env.split(",") if k.strip()]
+    return None  # all 14
+
+
+def bench_max_iters() -> int:
+    return int(os.environ.get("REPRO_BENCH_MAX_ITERS", "10"))
+
+
+def bench_max_eval() -> int:
+    return int(os.environ.get("REPRO_BENCH_MAX_EVAL", "100"))
+
+
+@pytest.fixture(scope="session")
+def fig9_result():
+    """The full Fig. 9 sweep, shared across benches."""
+    return run_fig9(
+        configurations=bench_configs(),
+        budget="reduced",
+        settings=FrameworkSettings.reduced(max_iters=bench_max_iters()),
+        brute_force_trials=bench_max_iters(),
+        max_eval=bench_max_eval(),
+        verbose=True,
+    )

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Bake-off: LoadDynamics vs every prior technique on one workload.
+
+Walks LoadDynamics, the three framework baselines (CloudInsight,
+CloudScale, Wood et al.) and a representative slice of CloudInsight's
+individual experts over the same test window of a chosen workload
+configuration, reporting the paper's metric (MAPE) plus RMSE.
+
+Usage::
+
+    python examples/compare_predictors.py [config-key]
+
+e.g. ``python examples/compare_predictors.py lcg-30m``.  Run
+``python -c "from repro.traces import list_configurations; print(list_configurations())"``
+to see all 14 keys.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.baselines import make_baseline, walk_forward
+from repro.experiments import fit_loaddynamics, format_table, test_start_index
+from repro.metrics import mape, rmse
+from repro.traces import get_configuration
+
+#: Individual experts shown alongside the frameworks.
+SOLO_PREDICTORS = ("ema", "holt-des", "ar", "arima", "knn", "random-forest")
+FRAMEWORKS = ("cloudinsight", "cloudscale", "wood")
+
+
+def main(config_key: str = "lcg-30m", max_eval: int = 120) -> None:
+    series = get_configuration(config_key).load()
+    start = test_start_index(len(series), max_eval)
+    actual = series[start:]
+    print(f"Workload {config_key}: {len(series)} intervals, "
+          f"scoring the last {len(actual)}\n")
+
+    rows = []
+    t0 = time.perf_counter()
+    _, report, ld_mape = fit_loaddynamics(
+        series, config_key.split("-")[0], max_eval=max_eval
+    )
+    hp = report.best_hyperparameters
+    rows.append(
+        {
+            "predictor": f"loaddynamics (n={hp.history_len}, s={hp.cell_size}, "
+                         f"L={hp.num_layers})",
+            "mape_pct": ld_mape,
+            "seconds": time.perf_counter() - t0,
+        }
+    )
+
+    for name in FRAMEWORKS + SOLO_PREDICTORS:
+        predictor = make_baseline(name)
+        refit = 1 if name == "cloudinsight" else 5
+        t0 = time.perf_counter()
+        preds = walk_forward(predictor, series, start, refit_every=refit)
+        rows.append(
+            {
+                "predictor": name,
+                "mape_pct": mape(preds, actual),
+                "rmse": rmse(preds, actual),
+                "seconds": time.perf_counter() - t0,
+            }
+        )
+
+    rows.sort(key=lambda r: r["mape_pct"])
+    print(format_table(rows, columns=["predictor", "mape_pct", "seconds"]))
+
+
+if __name__ == "__main__":
+    main(*(sys.argv[1:2] or ["lcg-30m"]))

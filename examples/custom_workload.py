@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Bring your own trace: LoadDynamics on a workload it has never seen.
+
+The paper's claim is *genericity* — the framework should produce an
+accurate predictor for any workload without hand-tuning.  This example
+fabricates a workload unlike the five built-in traces (an e-commerce
+flash-sale pattern: weekly seasonality plus sharp promotional bursts and
+a Black-Friday-style level shift), runs the unchanged workflow on it,
+and shows the selected hyperparameters adapting to the new pattern.
+
+It also demonstrates predictor persistence: the tuned model is saved to
+disk and reloaded, as a deployed auto-scaler process would.
+
+Usage::
+
+    python examples/custom_workload.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import FrameworkSettings, LoadDynamics, search_space_for
+from repro.core import LoadDynamicsPredictor
+from repro.metrics import mape
+
+
+def flash_sale_workload(n_intervals: int = 1200, seed: int = 99) -> np.ndarray:
+    """Hourly order volume with weekly cycle, promos, and a level shift."""
+    rng = np.random.default_rng(seed)
+    t = np.arange(n_intervals)
+    weekly = 1.0 + 0.45 * np.sin(2 * np.pi * t / 168.0)        # 168h = 1 week
+    daily = 1.0 + 0.30 * np.sin(2 * np.pi * t / 24.0 - 1.0)
+    level = np.where(t < int(0.7 * n_intervals), 1.0, 1.8)     # big campaign
+    lam = 500.0 * weekly * daily * level
+    # Flash sales: 6-hour bursts at random weekday noons.
+    for s in rng.integers(0, n_intervals - 6, size=10):
+        lam[s : s + 6] *= rng.uniform(2.0, 4.0)
+    return rng.poisson(lam).astype(float)
+
+
+def main() -> None:
+    series = flash_sale_workload()
+    print(f"Custom workload: {len(series)} hourly intervals, "
+          f"mean {series.mean():.0f} orders/h, peak {series.max():.0f}")
+
+    ld = LoadDynamics(
+        space=search_space_for("default", budget="reduced"),
+        settings=FrameworkSettings.reduced(max_iters=10),
+    )
+    predictor, report = ld.fit(series)
+    hp = report.best_hyperparameters
+    print(f"\nSelected: n={hp.history_len}, s={hp.cell_size}, "
+          f"layers={hp.num_layers}, batch={hp.batch_size} "
+          f"(val MAPE {report.best_validation_mape:.2f}%)")
+    print(f"Test MAPE: {ld.evaluate(predictor, series):.2f}%")
+
+    # Persist and reload, then verify identical predictions.
+    with tempfile.TemporaryDirectory() as d:
+        path = predictor.save(Path(d) / "flash-sale-predictor")
+        reloaded = LoadDynamicsPredictor.load(path)
+        p1 = predictor.predict_next(series)
+        p2 = reloaded.predict_next(series)
+        assert abs(p1 - p2) < 1e-9, "reload changed predictions"
+        print(f"\nSaved+reloaded predictor agrees: next-hour forecast "
+              f"{p2:,.0f} orders")
+
+    # Compare against the naive answer an ops team might use.
+    test_start = int(0.8 * len(series))
+    preds = predictor.predict_series(series, test_start)
+    persistence = series[test_start - 1 : -1]
+    print(f"LoadDynamics test MAPE {mape(preds, series[test_start:]):.2f}% vs "
+          f"persistence {mape(persistence, series[test_start:]):.2f}%")
+
+
+if __name__ == "__main__":
+    main()

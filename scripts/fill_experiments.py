@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Splice measured tables from bench_output.txt into EXPERIMENTS.md.
+
+Looks for the ``[Fig. 9]`` and ``[Fig. 10]`` sections the benchmark
+harness prints, converts them to fenced blocks, and replaces the
+``<!-- FIG9_TABLE -->`` / ``<!-- FIG10_TABLE -->`` markers.
+Idempotent: markers are kept as HTML comments next to the tables so the
+script can be re-run after a fresh bench run.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def extract_table(text: str, header: str) -> str | None:
+    """Grab the aligned table printed right after ``header``."""
+    idx = text.find(header)
+    if idx < 0:
+        return None
+    lines = text[idx:].splitlines()[1:]
+    table: list[str] = []
+    for line in lines:
+        if not line.strip():
+            if table:
+                break
+            continue
+        # Stop at the next pytest marker / section.
+        if line.startswith((".", "[", "=", "-----------------------------")) and table:
+            break
+        table.append(line.rstrip())
+    return "\n".join(table) if table else None
+
+
+def main() -> int:
+    bench = (ROOT / "bench_output.txt").read_text()
+    exp_path = ROOT / "EXPERIMENTS.md"
+    doc = exp_path.read_text()
+
+    replacements = {
+        "<!-- FIG9_TABLE -->": extract_table(bench, "[Fig. 9]"),
+        "<!-- FIG10_TABLE -->": extract_table(bench, "[Fig. 10]"),
+    }
+    for marker, table in replacements.items():
+        if table is None:
+            print(f"warning: no table found for {marker}", file=sys.stderr)
+            continue
+        block = f"{marker}\n```\n{table}\n```"
+        # Replace the marker plus any previously spliced block after it.
+        pattern = re.escape(marker) + r"(\n```\n.*?\n```)?"
+        doc = re.sub(pattern, lambda _m: block, doc, count=1, flags=re.DOTALL)
+    exp_path.write_text(doc)
+    print("EXPERIMENTS.md updated")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,57 @@
+"""LoadDynamics reproduction — self-optimized cloud workload prediction.
+
+A full, from-scratch reproduction of *"A Self-Optimized Generic Workload
+Prediction Framework for Cloud Computing"* (Jayakumar, Kim, Lee, Wang —
+IPDPS 2020) on numpy/scipy only.
+
+Quickstart::
+
+    import numpy as np
+    from repro import LoadDynamics, FrameworkSettings, search_space_for
+    from repro.traces import get_configuration
+
+    series = get_configuration("gl-30m").load()          # a JAR series
+    ld = LoadDynamics(space=search_space_for("gl", "reduced"),
+                      settings=FrameworkSettings.reduced())
+    predictor, report = ld.fit(series)                   # Fig. 6 workflow
+    next_jar = predictor.predict_next(series)            # one step ahead
+
+Subpackages (see DESIGN.md for the full inventory):
+
+=====================  ====================================================
+``repro.core``         LoadDynamics itself (LSTM + BO self-optimization)
+``repro.nn``           from-scratch LSTM/dense/Adam substrate
+``repro.gp``           Gaussian-process regression substrate
+``repro.bayesopt``     BO / random / grid hyperparameter search
+``repro.ml``           classical-ML substrate (trees, SVR, robust LR, …)
+``repro.baselines``    CloudInsight (21 experts), CloudScale, Wood et al.
+``repro.traces``       synthetic stand-ins for the five public traces
+``repro.autoscale``    cloud simulator + predictive auto-scaling policies
+``repro.experiments``  one runner per paper table/figure
+=====================  ====================================================
+"""
+
+from repro.core import (
+    FrameworkSettings,
+    LoadDynamics,
+    LoadDynamicsPredictor,
+    LSTMHyperparameters,
+    search_space_for,
+)
+from repro.metrics import mae, mape, mse, rmse, smape
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LoadDynamics",
+    "LoadDynamicsPredictor",
+    "LSTMHyperparameters",
+    "FrameworkSettings",
+    "search_space_for",
+    "mape",
+    "smape",
+    "mae",
+    "mse",
+    "rmse",
+    "__version__",
+]

@@ -1,0 +1,43 @@
+"""Cloud auto-scaling substrate (replaces the paper's Google Cloud testbed).
+
+Section IV-C of the paper runs a predictive auto-scaling policy on real
+n1-standard-1 VMs executing CloudSuite's In-Memory Analytics benchmark.
+Offline, we reproduce the *mechanics the measurement depends on*:
+
+* jobs arrive at the start of each interval (the paper's simplifying
+  assumption), one VM per job;
+* VMs provisioned ahead of the interval are warm; under-provisioned jobs
+  wait out a VM startup delay (the cause of turnaround inflation);
+* over-provisioned VMs idle for the interval (the cause of wasted cost).
+
+Components:
+
+* :mod:`repro.autoscale.cloudsim` — the interval-driven simulator;
+* :mod:`repro.autoscale.policy` — predictive + reactive + oracle policies;
+* :mod:`repro.autoscale.metrics` — turnaround / provisioning summaries.
+"""
+
+from repro.autoscale.cloudsim import CloudSimulator, SimulationResult, VMSpec
+from repro.autoscale.cost import CostReport, PricingModel, price_run
+from repro.autoscale.metrics import AutoscaleSummary, summarize
+from repro.autoscale.policy import (
+    OraclePolicy,
+    PredictivePolicy,
+    ReactivePolicy,
+    provisioning_schedule,
+)
+
+__all__ = [
+    "VMSpec",
+    "CloudSimulator",
+    "SimulationResult",
+    "PredictivePolicy",
+    "ReactivePolicy",
+    "OraclePolicy",
+    "provisioning_schedule",
+    "AutoscaleSummary",
+    "summarize",
+    "PricingModel",
+    "CostReport",
+    "price_run",
+]

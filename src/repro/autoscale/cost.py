@@ -1,0 +1,89 @@
+"""Cloud cost accounting for auto-scaling runs.
+
+Section II-A frames the provisioning trade-off in money and SLA terms:
+over-provisioning "results in some VMs running idle, wasting money";
+under-provisioning risks "violating performance goals".  This module
+prices a :class:`~repro.autoscale.cloudsim.SimulationResult` so policies
+can be compared on a single dollar axis:
+
+* VM time at an hourly on-demand rate (default: n1-standard-1's
+  historical $0.0475/h — the paper's instance type);
+* optional SLA penalties for intervals whose makespan exceeds a
+  deadline (the performance-goal violation cost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.autoscale.cloudsim import SimulationResult
+
+__all__ = ["PricingModel", "CostReport", "price_run"]
+
+
+@dataclass(frozen=True)
+class PricingModel:
+    """Billing and SLA parameters.
+
+    ``billing_increment_seconds`` models per-second vs per-minute billing
+    granularity (GCE bills per second with a 60 s minimum).
+    """
+
+    vm_hourly_rate: float = 0.0475
+    billing_increment_seconds: float = 60.0
+    sla_deadline_seconds: float | None = None
+    sla_penalty_per_violation: float = 0.0
+
+    def __post_init__(self):
+        if self.vm_hourly_rate < 0:
+            raise ValueError("vm_hourly_rate must be non-negative")
+        if self.billing_increment_seconds <= 0:
+            raise ValueError("billing_increment_seconds must be positive")
+        if self.sla_penalty_per_violation < 0:
+            raise ValueError("sla_penalty_per_violation must be non-negative")
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """Priced outcome of one auto-scaling run."""
+
+    policy: str
+    vm_cost: float
+    sla_violations: int
+    sla_cost: float
+
+    @property
+    def total_cost(self) -> float:
+        return self.vm_cost + self.sla_cost
+
+    def as_dict(self) -> dict:
+        return {
+            "policy": self.policy,
+            "vm_cost": self.vm_cost,
+            "sla_violations": self.sla_violations,
+            "sla_cost": self.sla_cost,
+            "total_cost": self.total_cost,
+        }
+
+
+def price_run(
+    policy: str, result: SimulationResult, pricing: PricingModel | None = None
+) -> CostReport:
+    """Price a simulation run under a :class:`PricingModel`."""
+    p = pricing if pricing is not None else PricingModel()
+    inc = p.billing_increment_seconds
+    billed_seconds = np.ceil(result.vm_seconds / inc) * inc
+    vm_cost = float(billed_seconds / 3600.0 * p.vm_hourly_rate)
+
+    violations = 0
+    if p.sla_deadline_seconds is not None:
+        busy = result.arrivals > 0
+        violations = int(
+            np.sum(result.makespan_seconds[busy] > p.sla_deadline_seconds)
+        )
+    sla_cost = violations * p.sla_penalty_per_violation
+    return CostReport(
+        policy=policy, vm_cost=vm_cost, sla_violations=violations, sla_cost=sla_cost
+    )

@@ -1,0 +1,43 @@
+"""Summaries of auto-scaling runs (the three Fig. 10 panels)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.autoscale.cloudsim import SimulationResult
+
+__all__ = ["AutoscaleSummary", "summarize"]
+
+
+@dataclass(frozen=True)
+class AutoscaleSummary:
+    """One row of the Fig. 10 comparison."""
+
+    policy: str
+    mean_turnaround_seconds: float
+    underprovision_rate_pct: float
+    overprovision_rate_pct: float
+    vm_hours: float
+    n_intervals: int
+
+    def as_dict(self) -> dict:
+        return {
+            "policy": self.policy,
+            "mean_turnaround_seconds": self.mean_turnaround_seconds,
+            "underprovision_rate_pct": self.underprovision_rate_pct,
+            "overprovision_rate_pct": self.overprovision_rate_pct,
+            "vm_hours": self.vm_hours,
+            "n_intervals": self.n_intervals,
+        }
+
+
+def summarize(policy_name: str, result: SimulationResult) -> AutoscaleSummary:
+    """Collapse a :class:`SimulationResult` into the Fig. 10 quantities."""
+    return AutoscaleSummary(
+        policy=policy_name,
+        mean_turnaround_seconds=result.mean_turnaround,
+        underprovision_rate_pct=result.underprovision_rate,
+        overprovision_rate_pct=result.overprovision_rate,
+        vm_hours=result.vm_seconds / 3600.0,
+        n_intervals=result.n_intervals,
+    )

@@ -1,0 +1,81 @@
+"""Provisioning policies: predictive (the paper's), reactive, oracle.
+
+The paper's algorithm (Section IV-C): "At each interval, the JAR for the
+next interval is predicted.  Right after the prediction, P_i VMs are
+created in advance."  :func:`provisioning_schedule` walks any
+:class:`~repro.baselines.base.Predictor` over the actual arrivals to
+produce that schedule with no lookahead.
+
+Two reference policies bound the comparison:
+
+* :class:`ReactivePolicy` — provision what arrived last interval (the
+  classic rule predictive auto-scaling is meant to beat);
+* :class:`OraclePolicy` — provision exactly the future arrivals (the
+  zero-error lower bound for turnaround and provisioning waste).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import Predictor, walk_forward
+
+__all__ = [
+    "PredictivePolicy",
+    "ReactivePolicy",
+    "OraclePolicy",
+    "provisioning_schedule",
+]
+
+
+def provisioning_schedule(
+    predictor: Predictor,
+    arrivals: np.ndarray,
+    start: int,
+    refit_every: int = 1,
+) -> np.ndarray:
+    """Predicted VM counts for intervals ``start..end`` of ``arrivals``.
+
+    Each prediction uses only arrivals before the target interval
+    (walk-forward); results are rounded up to whole VMs.
+    """
+    preds = walk_forward(predictor, arrivals, start, refit_every=refit_every)
+    return np.ceil(np.maximum(preds, 0.0))
+
+
+class PredictivePolicy:
+    """Provision ceil(P_i) VMs ahead of each interval using a predictor."""
+
+    def __init__(self, predictor: Predictor, refit_every: int = 1):
+        self.predictor = predictor
+        self.refit_every = int(refit_every)
+        self.name = f"predictive[{predictor.name}]"
+
+    def schedule(self, arrivals: np.ndarray, start: int) -> np.ndarray:
+        return provisioning_schedule(
+            self.predictor, arrivals, start, refit_every=self.refit_every
+        )
+
+
+class ReactivePolicy:
+    """Provision what arrived in the previous interval (persistence)."""
+
+    name = "reactive"
+
+    def schedule(self, arrivals: np.ndarray, start: int) -> np.ndarray:
+        a = np.asarray(arrivals, dtype=np.float64)
+        if not 0 < start <= a.size:
+            raise ValueError("start must be inside the arrivals series")
+        return np.ceil(a[start - 1 : a.size - 1])
+
+
+class OraclePolicy:
+    """Provision exactly the arrivals (perfect prediction bound)."""
+
+    name = "oracle"
+
+    def schedule(self, arrivals: np.ndarray, start: int) -> np.ndarray:
+        a = np.asarray(arrivals, dtype=np.float64)
+        if not 0 <= start < a.size:
+            raise ValueError("start must be inside the arrivals series")
+        return np.ceil(a[start:])

@@ -1,0 +1,65 @@
+"""Workload-prediction baselines (paper Table II + three frameworks).
+
+Every predictor implements the one-step-ahead protocol of
+:class:`repro.baselines.base.Predictor`: given the known JAR history
+``J_1 … J_{i-1}``, produce ``P_i``.  :func:`repro.baselines.base.walk_forward`
+replays a trace through any predictor exactly the way the paper's
+evaluation does (predict each test interval from everything before it).
+
+Contents:
+
+* :mod:`naive` — mean, kNN                      (Table II "Naive")
+* :mod:`regression` — local/global poly trends  (Table II "Regression")
+* :mod:`timeseries` — WMA, EMA, Holt DES, Brown DES, AR, ARMA, ARIMA
+* :mod:`ml` — linear/Gaussian SVR, tree, forest, boosting, extra trees
+* :mod:`cloudinsight` — the 21-predictor council [Kim et al. 2018]
+* :mod:`cloudscale` — FFT + Markov chain        [Shen et al. 2011]
+* :mod:`wood` — online robust linear regression [Wood et al. 2011]
+* :mod:`registry` — name → factory for all of the above
+"""
+
+from repro.baselines.base import Predictor, walk_forward
+from repro.baselines.cloudinsight import CloudInsight
+from repro.baselines.cloudscale import CloudScale
+from repro.baselines.naive import KNNPredictor, MeanPredictor
+from repro.baselines.regression import PolynomialTrendPredictor
+from repro.baselines.seasonal import HoltWintersSeasonalPredictor
+from repro.baselines.registry import (
+    cloudinsight_pool,
+    list_baselines,
+    make_baseline,
+)
+from repro.baselines.timeseries import (
+    ARIMAPredictor,
+    ARMAPredictor,
+    ARPredictor,
+    BrownDESPredictor,
+    EMAPredictor,
+    HoltDESPredictor,
+    WMAPredictor,
+)
+from repro.baselines.ml import WindowedMLPredictor
+from repro.baselines.wood import WoodPredictor
+
+__all__ = [
+    "Predictor",
+    "walk_forward",
+    "MeanPredictor",
+    "KNNPredictor",
+    "PolynomialTrendPredictor",
+    "HoltWintersSeasonalPredictor",
+    "WMAPredictor",
+    "EMAPredictor",
+    "HoltDESPredictor",
+    "BrownDESPredictor",
+    "ARPredictor",
+    "ARMAPredictor",
+    "ARIMAPredictor",
+    "WindowedMLPredictor",
+    "CloudInsight",
+    "CloudScale",
+    "WoodPredictor",
+    "make_baseline",
+    "list_baselines",
+    "cloudinsight_pool",
+]

@@ -1,0 +1,122 @@
+"""CloudInsight ensemble [Kim et al., IEEE CLOUD 2018] (paper baseline #1).
+
+A council of 21 experts (Table II, built by
+:func:`repro.baselines.registry.cloudinsight_pool`).  At every interval
+each member produces a forecast; the council's output is the forecast of
+the member with the lowest recent error.  Members are rebuilt (refit on
+the full known history) every ``rebuild_every`` intervals — the paper
+notes "CloudInsight also dynamically rebuilds its predictors after every
+five intervals."
+
+Error bookkeeping happens in :meth:`fit` (called by ``walk_forward``
+once per interval): the value revealed at interval *i* scores the
+member forecasts that were cached when predicting interval *i*, giving
+every member an exponentially-weighted recent-accuracy estimate without
+any lookahead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import Predictor
+
+__all__ = ["CloudInsight"]
+
+
+class CloudInsight(Predictor):
+    """Best-recent-expert selection over the 21-predictor pool."""
+
+    name = "cloudinsight"
+
+    def __init__(
+        self,
+        pool: list[Predictor] | None = None,
+        rebuild_every: int = 5,
+        eval_window: int = 10,
+        profile: str = "fast",
+    ):
+        if rebuild_every < 1:
+            raise ValueError("rebuild_every must be >= 1")
+        if eval_window < 1:
+            raise ValueError("eval_window must be >= 1")
+        if pool is None:
+            from repro.baselines.registry import cloudinsight_pool
+
+            pool = cloudinsight_pool(profile=profile)
+        if not pool:
+            raise ValueError("pool must be non-empty")
+        self.pool = pool
+        self.rebuild_every = int(rebuild_every)
+        self.eval_window = int(eval_window)
+        self.min_history = max(m.min_history for m in pool)
+        self._reset_state()
+
+    def _reset_state(self) -> None:
+        k = len(self.pool)
+        self._seen_len = 0          # history length after the last fit()
+        self._since_rebuild = self.rebuild_every  # force rebuild on first fit
+        self._cached_forecasts: np.ndarray | None = None  # member predictions for next interval
+        self._errors: list[list[float]] = [[] for _ in range(k)]
+        self._selected = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def selected_member(self) -> Predictor:
+        """The expert currently answering for the council."""
+        return self.pool[self._selected]
+
+    def member_scores(self) -> np.ndarray:
+        """Mean recent absolute error per member (inf when unscored)."""
+        out = np.full(len(self.pool), np.inf)
+        for j, errs in enumerate(self._errors):
+            if errs:
+                recent = errs[-self.eval_window :]
+                out[j] = float(np.mean(recent))
+        return out
+
+    # ------------------------------------------------------------------
+    def fit(self, history: np.ndarray) -> "CloudInsight":
+        h = np.asarray(history, dtype=np.float64)
+        n = len(h)
+        if n < self._seen_len:
+            # The series restarted (new trace): drop all state.
+            self._reset_state()
+
+        # Score cached member forecasts against every newly revealed value.
+        if self._cached_forecasts is not None and n > self._seen_len:
+            actual = float(h[self._seen_len])  # the interval we had forecast
+            denom = max(abs(actual), 1e-9)
+            for j, p in enumerate(self._cached_forecasts):
+                self._errors[j].append(abs(p - actual) / denom)
+
+        new_intervals = n - self._seen_len
+        self._since_rebuild += max(new_intervals, 0)
+        self._seen_len = n
+
+        if self._since_rebuild >= self.rebuild_every:
+            for member in self.pool:
+                member.fit(h)
+            self._since_rebuild = 0
+
+        # Collect every member's forecast for the *next* interval; cache
+        # for scoring when that value is revealed.
+        forecasts = np.empty(len(self.pool))
+        for j, member in enumerate(self.pool):
+            try:
+                p = member.predict_next(h)
+            except (ValueError, np.linalg.LinAlgError):
+                p = float(h[-1]) if n else 0.0
+            forecasts[j] = p if np.isfinite(p) else (float(h[-1]) if n else 0.0)
+        self._cached_forecasts = forecasts
+
+        scores = self.member_scores()
+        if np.isfinite(scores).any():
+            self._selected = int(np.argmin(scores))
+        return self
+
+    def predict_next(self, history: np.ndarray) -> float:
+        if self._cached_forecasts is None or self._seen_len != len(history):
+            # fit() not called for this prefix (direct API use): do it now.
+            self.fit(history)
+        return float(self._cached_forecasts[self._selected])

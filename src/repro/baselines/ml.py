@@ -1,0 +1,76 @@
+"""Windowed ML predictors (Table II, "ML" category).
+
+:class:`WindowedMLPredictor` turns any ``fit/predict`` regressor from
+:mod:`repro.ml` into a one-step-ahead forecaster: the history is unrolled
+into (lag-window → next value) supervised pairs, the regressor is fit on
+them, and the prediction queries the final window.  This is exactly how
+prior work (Wrangler, Resource Central, …) framed workload forecasting
+as supervised learning.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.baselines.base import Predictor
+
+__all__ = ["WindowedMLPredictor"]
+
+
+class WindowedMLPredictor(Predictor):
+    """Lag-window supervised wrapper around a ``fit/predict`` regressor.
+
+    Parameters
+    ----------
+    model_factory:
+        Zero-argument callable building a fresh regressor (a fresh model
+        per :meth:`fit` keeps walk-forward evaluations independent).
+    window:
+        Number of past JARs in the feature vector.
+    max_train:
+        Cap on training pairs (most recent kept) so walk-forward over
+        long traces stays tractable for O(n^2)–O(n^3) models.
+    name:
+        Table label.
+    """
+
+    def __init__(
+        self,
+        model_factory: Callable[[], object],
+        window: int = 10,
+        max_train: int | None = 2000,
+        name: str = "ml",
+    ):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.model_factory = model_factory
+        self.window = int(window)
+        self.max_train = max_train
+        self.name = name
+        self.min_history = self.window + 2
+        self._model: object | None = None
+
+    def fit(self, history: np.ndarray) -> "WindowedMLPredictor":
+        h = np.asarray(history, dtype=np.float64)
+        w = self.window
+        if len(h) < w + 1:
+            self._model = None
+            return self
+        X = np.lib.stride_tricks.sliding_window_view(h[:-1], w)
+        y = h[w:]
+        if self.max_train is not None and len(y) > self.max_train:
+            X, y = X[-self.max_train :], y[-self.max_train :]
+        model = self.model_factory()
+        model.fit(np.ascontiguousarray(X), y)
+        self._model = model
+        return self
+
+    def predict_next(self, history: np.ndarray) -> float:
+        if self._model is None:
+            self.fit(history)
+        if self._model is None or len(history) < self.window:
+            return self._fallback(history)
+        q = np.asarray(history[-self.window :], dtype=np.float64)[None, :]
+        return float(self._model.predict(q)[0])

@@ -1,0 +1,64 @@
+"""Naive predictors: mean and kNN (paper Table II, "Naive" category)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import Predictor
+from repro.ml.neighbors import KNNRegressor
+
+__all__ = ["MeanPredictor", "KNNPredictor"]
+
+
+class MeanPredictor(Predictor):
+    """Predict the mean of the last ``window`` JARs (all history if None)."""
+
+    name = "mean"
+
+    def __init__(self, window: int | None = 10):
+        if window is not None and window < 1:
+            raise ValueError("window must be >= 1 or None")
+        self.window = window
+
+    def predict_next(self, history: np.ndarray) -> float:
+        if len(history) == 0:
+            return 0.0
+        h = history if self.window is None else history[-self.window :]
+        return float(np.mean(h))
+
+
+class KNNPredictor(Predictor):
+    """Pattern-matching kNN: find the k historical windows most similar to
+    the current one and average what followed them."""
+
+    name = "knn"
+
+    def __init__(self, k: int = 5, window: int = 6, weights: str = "distance"):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.k = int(k)
+        self.window = int(window)
+        self.weights = weights
+        self.min_history = self.window + 1
+        self._model: KNNRegressor | None = None
+        self._fit_len = -1
+
+    def fit(self, history: np.ndarray) -> "KNNPredictor":
+        n, w = len(history), self.window
+        if n < w + 1:
+            self._model = None
+            return self
+        # Lag-matrix construction via stride tricks: zero-copy windows.
+        windows = np.lib.stride_tricks.sliding_window_view(history[:-1], w)
+        targets = history[w:]
+        model = KNNRegressor(k=self.k, weights=self.weights)
+        model.fit(windows, targets)
+        self._model = model
+        self._fit_len = n
+        return self
+
+    def predict_next(self, history: np.ndarray) -> float:
+        if self._model is None or len(history) < self.window:
+            return self._fallback(history)
+        query = np.asarray(history[-self.window :], dtype=np.float64)[None, :]
+        return float(self._model.predict(query)[0])

@@ -1,0 +1,158 @@
+"""Factories for all baseline predictors, including CloudInsight's pool.
+
+Table II of the paper enumerates the 21 predictors inside CloudInsight:
+
+===========  ==================================================================
+Category     Predictors
+===========  ==================================================================
+Naive (2)    mean, kNN
+Regression   local & global x linear, quadratic, cubic            (6)
+Time-series  WMA, EMA, Holt-Winters DES, Brown's DES, AR, ARMA, ARIMA (7)
+ML (6)       linear SVM, Gaussian SVM, decision tree, random forest,
+             gradient boosting, extra trees
+===========  ==================================================================
+
+:func:`cloudinsight_pool` builds exactly those 21.  A ``fast`` profile
+shrinks the expensive ensemble members (fewer trees, capped training
+windows) so walk-forward evaluation over 14 workload configurations
+stays laptop-tractable; the ``paper`` profile uses fuller settings.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.baselines.base import Predictor
+from repro.baselines.ml import WindowedMLPredictor
+from repro.baselines.naive import KNNPredictor, MeanPredictor
+from repro.baselines.regression import PolynomialTrendPredictor
+from repro.baselines.timeseries import (
+    ARIMAPredictor,
+    ARMAPredictor,
+    ARPredictor,
+    BrownDESPredictor,
+    EMAPredictor,
+    HoltDESPredictor,
+    WMAPredictor,
+)
+from repro.baselines.seasonal import HoltWintersSeasonalPredictor
+from repro.baselines.wood import WoodPredictor
+from repro.ml import (
+    DecisionTreeRegressor,
+    ExtraTreesRegressor,
+    GradientBoostingRegressor,
+    KernelSVR,
+    LinearSVR,
+    RandomForestRegressor,
+)
+
+__all__ = ["cloudinsight_pool", "make_baseline", "list_baselines"]
+
+_PROFILES = ("fast", "paper")
+
+
+def _ml_members(profile: str, window: int) -> list[Predictor]:
+    """The six Table II ML predictors, sized per profile."""
+    if profile == "paper":
+        trees, max_train = 50, 2000
+    else:
+        trees, max_train = 8, 300
+    gb_estimators = 100 if profile == "paper" else 25
+    specs: list[tuple[str, Callable[[], object]]] = [
+        ("svr-linear", lambda: LinearSVR(C=1.0, epsilon=0.05)),
+        ("svr-gaussian", lambda: KernelSVR(C=10.0, epsilon=0.05, max_samples=300)),
+        ("decision-tree", lambda: DecisionTreeRegressor(max_depth=8, min_samples_leaf=3)),
+        (
+            "random-forest",
+            lambda: RandomForestRegressor(n_estimators=trees, max_depth=10, seed=7),
+        ),
+        (
+            "gradient-boosting",
+            lambda: GradientBoostingRegressor(
+                n_estimators=gb_estimators, max_depth=3, seed=7
+            ),
+        ),
+        (
+            "extra-trees",
+            lambda: ExtraTreesRegressor(n_estimators=trees, max_depth=10, seed=7),
+        ),
+    ]
+    return [
+        WindowedMLPredictor(factory, window=window, max_train=max_train, name=name)
+        for name, factory in specs
+    ]
+
+
+def cloudinsight_pool(profile: str = "fast", window: int = 8) -> list[Predictor]:
+    """Build the 21-predictor CloudInsight council (Table II)."""
+    if profile not in _PROFILES:
+        raise ValueError(f"profile must be one of {_PROFILES}")
+    pool: list[Predictor] = [
+        # Naive (2)
+        MeanPredictor(window=10),
+        KNNPredictor(k=5, window=window),
+        # Regression (6)
+        PolynomialTrendPredictor(1, "local"),
+        PolynomialTrendPredictor(2, "local"),
+        PolynomialTrendPredictor(3, "local"),
+        PolynomialTrendPredictor(1, "global"),
+        PolynomialTrendPredictor(2, "global"),
+        PolynomialTrendPredictor(3, "global"),
+        # Time-series (7)
+        WMAPredictor(window=10),
+        EMAPredictor(alpha=0.3),
+        HoltDESPredictor(alpha=0.5, beta=0.3),
+        BrownDESPredictor(alpha=0.4),
+        ARPredictor(p=5),
+        ARMAPredictor(p=2, q=1),
+        ARIMAPredictor(p=2, d=1, q=1),
+    ]
+    pool.extend(_ml_members(profile, window))
+    assert len(pool) == 21, f"CloudInsight pool must have 21 members, got {len(pool)}"
+    return pool
+
+
+def _baseline_factories() -> dict[str, Callable[[], Predictor]]:
+    from repro.baselines.cloudinsight import CloudInsight
+    from repro.baselines.cloudscale import CloudScale
+
+    factories: dict[str, Callable[[], Predictor]] = {
+        "mean": lambda: MeanPredictor(window=10),
+        "knn": lambda: KNNPredictor(),
+        "wma": lambda: WMAPredictor(),
+        "ema": lambda: EMAPredictor(),
+        "holt-des": lambda: HoltDESPredictor(),
+        "brown-des": lambda: BrownDESPredictor(),
+        "ar": lambda: ARPredictor(),
+        "arma": lambda: ARMAPredictor(),
+        "arima": lambda: ARIMAPredictor(),
+        "cloudinsight": lambda: CloudInsight(),
+        "cloudscale": lambda: CloudScale(),
+        "wood": lambda: WoodPredictor(),
+        "holt-winters-seasonal": lambda: HoltWintersSeasonalPredictor(period=48),
+    }
+    for degree in (1, 2, 3):
+        for scope in ("local", "global"):
+            factories[f"{scope}-poly{degree}"] = (
+                lambda d=degree, s=scope: PolynomialTrendPredictor(d, s)
+            )
+    for member in _ml_members("fast", window=8):
+        factories[member.name] = (
+            lambda n=member.name: next(
+                m for m in _ml_members("fast", window=8) if m.name == n
+            )
+        )
+    return factories
+
+
+def list_baselines() -> list[str]:
+    """Names accepted by :func:`make_baseline`."""
+    return sorted(_baseline_factories())
+
+
+def make_baseline(name: str) -> Predictor:
+    """Instantiate a baseline predictor by name."""
+    factories = _baseline_factories()
+    if name not in factories:
+        raise ValueError(f"unknown baseline {name!r}; choose from {sorted(factories)}")
+    return factories[name]()

@@ -1,0 +1,65 @@
+"""Polynomial trend extrapolation (Table II, "Regression" category).
+
+Six variants: {local, global} x {linear, quadratic, cubic}.  A polynomial
+in *time* is fit to the recent window (local) or the entire history
+(global) and evaluated one step past the end.  Time is rescaled to [0, 1]
+before fitting — raw interval indices in the thousands make the cubic
+Vandermonde catastrophically ill-conditioned.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import Predictor
+
+__all__ = ["PolynomialTrendPredictor"]
+
+
+class PolynomialTrendPredictor(Predictor):
+    """Fit ``J_t ≈ poly(t)`` and extrapolate to the next interval.
+
+    Parameters
+    ----------
+    degree:
+        1 (linear), 2 (quadratic) or 3 (cubic) — the paper's six
+        regression baselines use exactly these.
+    scope:
+        ``"local"`` fits the last ``window`` points; ``"global"`` fits
+        everything seen so far.
+    window:
+        Local window length (ignored for global scope).
+    """
+
+    def __init__(self, degree: int = 1, scope: str = "local", window: int = 20):
+        if degree not in (1, 2, 3):
+            raise ValueError("degree must be 1, 2 or 3")
+        if scope not in ("local", "global"):
+            raise ValueError("scope must be 'local' or 'global'")
+        if window < 2:
+            raise ValueError("window must be >= 2")
+        self.degree = int(degree)
+        self.scope = scope
+        self.window = int(window)
+        self.name = f"{scope}-poly{degree}"
+        self.min_history = degree + 1
+
+    def predict_next(self, history: np.ndarray) -> float:
+        n = len(history)
+        if n < self.degree + 1:
+            return self._fallback(history)
+        if self.scope == "local":
+            seg = history[-min(self.window, n) :]
+        else:
+            seg = history
+        m = len(seg)
+        if m < self.degree + 1:
+            return self._fallback(history)
+        # Rescale time to [0,1]; "next" is (m)/(m-1) just past the end.
+        t = np.linspace(0.0, 1.0, m)
+        try:
+            coeffs = np.polynomial.polynomial.polyfit(t, seg, deg=self.degree)
+        except np.linalg.LinAlgError:
+            return self._fallback(history)
+        t_next = m / (m - 1.0)
+        return float(np.polynomial.polynomial.polyval(t_next, coeffs))

@@ -1,0 +1,271 @@
+"""Time-series predictors (Table II, "Time-series" category).
+
+Seven models: WMA, EMA, Holt-Winters DES, Brown's DES, AR, ARMA, ARIMA.
+The autoregressive family is implemented from scratch:
+
+* **AR(p)** — ordinary least squares on the lag matrix (conditional MLE
+  for Gaussian innovations);
+* **ARMA(p, q)** — the Hannan–Rissanen two-stage procedure: a long AR
+  fit supplies innovation estimates, then lagged innovations join the
+  regression as MA terms;
+* **ARIMA(p, d, q)** — d-fold differencing around an ARMA core, with the
+  forecast integrated back to the original level.
+
+These cover the modeling techniques the related work (refs [12]–[16],
+[31], [32], [37]–[42]) built cloud predictors from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import lstsq
+
+from repro.baselines.base import Predictor
+
+__all__ = [
+    "WMAPredictor",
+    "EMAPredictor",
+    "HoltDESPredictor",
+    "BrownDESPredictor",
+    "ARPredictor",
+    "ARMAPredictor",
+    "ARIMAPredictor",
+]
+
+
+class WMAPredictor(Predictor):
+    """Linearly-weighted moving average: recent intervals weigh more."""
+
+    name = "wma"
+
+    def __init__(self, window: int = 10):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = int(window)
+
+    def predict_next(self, history: np.ndarray) -> float:
+        if len(history) == 0:
+            return 0.0
+        seg = history[-self.window :]
+        w = np.arange(1, len(seg) + 1, dtype=np.float64)
+        return float(np.dot(seg, w) / w.sum())
+
+
+class EMAPredictor(Predictor):
+    """Exponential moving average with smoothing factor ``alpha``."""
+
+    name = "ema"
+
+    def __init__(self, alpha: float = 0.3):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = float(alpha)
+
+    def predict_next(self, history: np.ndarray) -> float:
+        if len(history) == 0:
+            return 0.0
+        # Closed-form EMA over the (short) effective memory: weights decay
+        # geometrically, so truncating at ~5/alpha terms is exact to 1e-3.
+        k = min(len(history), max(8, int(np.ceil(5.0 / self.alpha))))
+        seg = history[-k:]
+        w = (1.0 - self.alpha) ** np.arange(len(seg) - 1, -1, -1)
+        w *= self.alpha
+        w[0] += (1.0 - self.alpha) ** len(seg)  # mass of the truncated tail
+        return float(np.dot(seg, w) / w.sum())
+
+
+class HoltDESPredictor(Predictor):
+    """Holt's linear (double-exponential) smoothing: level + trend."""
+
+    name = "holt-des"
+    min_history = 2
+
+    def __init__(self, alpha: float = 0.5, beta: float = 0.3):
+        if not 0.0 < alpha <= 1.0 or not 0.0 < beta <= 1.0:
+            raise ValueError("alpha and beta must be in (0, 1]")
+        self.alpha = float(alpha)
+        self.beta = float(beta)
+
+    def predict_next(self, history: np.ndarray) -> float:
+        n = len(history)
+        if n == 0:
+            return 0.0
+        if n == 1:
+            return float(history[0])
+        level = float(history[0])
+        trend = float(history[1] - history[0])
+        for x in history[1:]:
+            prev_level = level
+            level = self.alpha * float(x) + (1.0 - self.alpha) * (level + trend)
+            trend = self.beta * (level - prev_level) + (1.0 - self.beta) * trend
+        return level + trend
+
+
+class BrownDESPredictor(Predictor):
+    """Brown's double exponential smoothing (single parameter)."""
+
+    name = "brown-des"
+    min_history = 2
+
+    def __init__(self, alpha: float = 0.4):
+        if not 0.0 < alpha < 1.0:
+            raise ValueError("alpha must be in (0, 1)")
+        self.alpha = float(alpha)
+
+    def predict_next(self, history: np.ndarray) -> float:
+        n = len(history)
+        if n == 0:
+            return 0.0
+        s1 = s2 = float(history[0])
+        a = self.alpha
+        for x in history[1:]:
+            s1 = a * float(x) + (1.0 - a) * s1
+            s2 = a * s1 + (1.0 - a) * s2
+        level = 2.0 * s1 - s2
+        trend = (a / (1.0 - a)) * (s1 - s2)
+        return level + trend
+
+
+def _fit_ar_ols(series: np.ndarray, p: int) -> np.ndarray | None:
+    """Least-squares AR(p) coefficients [c, phi_1..phi_p], or None."""
+    n = len(series)
+    if n < p + 2:
+        return None
+    # Lag matrix: row t has [1, y_{t-1}, ..., y_{t-p}].
+    Y = series[p:]
+    cols = [np.ones(n - p)]
+    for lag in range(1, p + 1):
+        cols.append(series[p - lag : n - lag])
+    A = np.column_stack(cols)
+    beta, *_ = lstsq(A, Y, lapack_driver="gelsd")
+    return beta
+
+
+def _ar_one_step(series: np.ndarray, beta: np.ndarray, p: int) -> float:
+    lags = series[-1 : -p - 1 : -1]  # y_{t}, y_{t-1}, ..., y_{t-p+1}
+    return float(beta[0] + np.dot(beta[1:], lags))
+
+
+class ARPredictor(Predictor):
+    """Autoregressive model of order ``p``, refit by OLS."""
+
+    def __init__(self, p: int = 5):
+        if p < 1:
+            raise ValueError("p must be >= 1")
+        self.p = int(p)
+        self.name = f"ar({p})"
+        self.min_history = p + 2
+        self._beta: np.ndarray | None = None
+
+    def fit(self, history: np.ndarray) -> "ARPredictor":
+        self._beta = _fit_ar_ols(np.asarray(history, dtype=np.float64), self.p)
+        return self
+
+    def predict_next(self, history: np.ndarray) -> float:
+        if self._beta is None:
+            self.fit(history)
+        if self._beta is None or len(history) < self.p:
+            return self._fallback(history)
+        return _ar_one_step(np.asarray(history, dtype=np.float64), self._beta, self.p)
+
+
+class ARMAPredictor(Predictor):
+    """ARMA(p, q) via the Hannan–Rissanen two-stage estimator."""
+
+    def __init__(self, p: int = 2, q: int = 1, long_ar: int | None = None):
+        if p < 1 or q < 0:
+            raise ValueError("need p >= 1 and q >= 0")
+        self.p = int(p)
+        self.q = int(q)
+        self.long_ar = long_ar
+        self.name = f"arma({p},{q})"
+        self.min_history = max(p, q) + (long_ar or self._default_long_ar()) + 2
+        self._beta: np.ndarray | None = None
+        self._resid_tail: np.ndarray | None = None
+
+    def _default_long_ar(self) -> int:
+        return max(10, 2 * (self.p + self.q))
+
+    def fit(self, history: np.ndarray) -> "ARMAPredictor":
+        y = np.asarray(history, dtype=np.float64)
+        self._beta = None
+        m = self.long_ar or self._default_long_ar()
+        n = len(y)
+        if n < m + max(self.p, self.q) + 2:
+            return self
+        # Stage 1: long AR to estimate the innovation sequence.
+        long_beta = _fit_ar_ols(y, m)
+        if long_beta is None:
+            return self
+        cols = [np.ones(n - m)]
+        for lag in range(1, m + 1):
+            cols.append(y[m - lag : n - lag])
+        resid = y[m:] - np.column_stack(cols) @ long_beta  # e_t for t >= m
+        # Stage 2: regress y_t on p lags of y and q lags of e.
+        p, q = self.p, self.q
+        start = m + max(p, q)  # first t with all regressors available
+        if n - start < p + q + 2:
+            return self
+        Y = y[start:]
+        cols2 = [np.ones(n - start)]
+        for lag in range(1, p + 1):
+            cols2.append(y[start - lag : n - lag])
+        for lag in range(1, q + 1):
+            # resid[t - m] corresponds to e_t
+            cols2.append(resid[start - lag - m : n - lag - m])
+        A = np.column_stack(cols2)
+        beta, *_ = lstsq(A, Y, lapack_driver="gelsd")
+        self._beta = beta
+        # Keep the last q innovations for forecasting.
+        fitted = A @ beta
+        e = Y - fitted
+        self._resid_tail = e[-max(q, 1) :] if q > 0 else np.empty(0)
+        return self
+
+    def predict_next(self, history: np.ndarray) -> float:
+        if self._beta is None:
+            self.fit(history)
+        y = np.asarray(history, dtype=np.float64)
+        if self._beta is None or len(y) < self.p:
+            return self._fallback(history)
+        p, q = self.p, self.q
+        val = float(self._beta[0])
+        val += float(np.dot(self._beta[1 : p + 1], y[-1 : -p - 1 : -1]))
+        if q > 0 and self._resid_tail is not None and len(self._resid_tail) >= q:
+            val += float(np.dot(self._beta[p + 1 :], self._resid_tail[::-1][:q]))
+        return val
+
+
+class ARIMAPredictor(Predictor):
+    """ARIMA(p, d, q): difference d times, ARMA forecast, integrate back."""
+
+    def __init__(self, p: int = 2, d: int = 1, q: int = 1):
+        if d < 0:
+            raise ValueError("d must be >= 0")
+        self.p = int(p)
+        self.d = int(d)
+        self.q = int(q)
+        self.name = f"arima({p},{d},{q})"
+        self._core = ARMAPredictor(p, q)
+        self.min_history = self._core.min_history + d
+
+    def fit(self, history: np.ndarray) -> "ARIMAPredictor":
+        y = np.asarray(history, dtype=np.float64)
+        self._core.fit(np.diff(y, n=self.d) if self.d else y)
+        return self
+
+    def predict_next(self, history: np.ndarray) -> float:
+        y = np.asarray(history, dtype=np.float64)
+        if len(y) <= self.d:
+            return self._fallback(history)
+        diffed = np.diff(y, n=self.d) if self.d else y
+        if len(diffed) < 1:
+            return self._fallback(history)
+        delta = self._core.predict_next(diffed)
+        # Integrate: forecast of the d-th difference plus the reconstruction
+        # from the last values of each lower-order difference.
+        val = delta
+        for k in range(self.d - 1, -1, -1):
+            last = np.diff(y, n=k)[-1] if k else y[-1]
+            val = float(last) + val
+        return val

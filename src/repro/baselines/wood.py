@@ -1,0 +1,66 @@
+"""Wood et al. predictor [Middleware 2011] (paper baseline #3).
+
+"Wood et al. employed robust linear regression to predict workloads.
+The model built with the linear regression is refined online to adapt
+with changes." (paper Section IV-A)
+
+Following the original's modeling approach (robust linear models over
+recent observations, refined online), the predictor fits a Huber-robust
+linear trend ``J_t ≈ a + b·t`` over a sliding window of recent intervals
+and extrapolates one step.  Robustness (IRLS with Huber weights, not
+least squares) is the defining feature: isolated workload spikes should
+not corrupt the provisioning model.  The linear-in-time form is also why
+the technique trails on non-linear, non-seasonal data-center traces
+(paper Fig. 2 / Fig. 9).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import Predictor
+from repro.ml.linear import HuberRegressor
+
+__all__ = ["WoodPredictor"]
+
+
+class WoodPredictor(Predictor):
+    """Online robust linear-trend regression."""
+
+    name = "wood"
+
+    def __init__(self, window: int = 24, delta: float = 1.345):
+        if window < 3:
+            raise ValueError("window must be >= 3")
+        self.window = int(window)
+        self.delta = float(delta)
+        self.min_history = 3
+        self._model: HuberRegressor | None = None
+        self._fit_len = 0
+
+    def fit(self, history: np.ndarray) -> "WoodPredictor":
+        h = np.asarray(history, dtype=np.float64)
+        if len(h) < 3:
+            self._model = None
+            return self
+        seg = h[-self.window :]
+        m = len(seg)
+        t = np.linspace(0.0, 1.0, m)[:, None]
+        model = HuberRegressor(delta=self.delta)
+        try:
+            model.fit(t, seg)
+        except np.linalg.LinAlgError:
+            self._model = None
+            return self
+        self._model = model
+        self._fit_len = m
+        return self
+
+    def predict_next(self, history: np.ndarray) -> float:
+        if self._model is None or len(history) < 3:
+            self.fit(history)
+        if self._model is None:
+            return self._fallback(history)
+        m = self._fit_len
+        t_next = np.array([[m / (m - 1.0)]])  # one step past the window end
+        return float(self._model.predict(t_next)[0])

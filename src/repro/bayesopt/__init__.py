@@ -1,0 +1,38 @@
+"""Hyperparameter-search substrate (replaces GPyOpt).
+
+The paper's self-optimization loop (Fig. 6, steps 2–3) is Bayesian
+Optimization with a Gaussian-process surrogate and the *expected
+improvement* acquisition.  Section III-A also reports comparisons with
+random search (similar accuracy, slower) and grid search (worse), so all
+three are provided behind one ask/tell interface:
+
+* :class:`~repro.bayesopt.space.SearchSpace` — mixed integer / float /
+  categorical spaces with unit-cube encoding (Table III ranges);
+* :class:`~repro.bayesopt.optimizer.BayesianOptimizer` — the BO loop;
+* :class:`~repro.bayesopt.random_search.RandomSearch`;
+* :class:`~repro.bayesopt.grid_search.GridSearch`.
+"""
+
+from repro.bayesopt.acquisition import (
+    expected_improvement,
+    lower_confidence_bound,
+    probability_of_improvement,
+)
+from repro.bayesopt.grid_search import GridSearch
+from repro.bayesopt.optimizer import BayesianOptimizer, TrialRecord
+from repro.bayesopt.random_search import RandomSearch
+from repro.bayesopt.space import CategoricalParam, FloatParam, IntParam, SearchSpace
+
+__all__ = [
+    "SearchSpace",
+    "IntParam",
+    "FloatParam",
+    "CategoricalParam",
+    "BayesianOptimizer",
+    "RandomSearch",
+    "GridSearch",
+    "TrialRecord",
+    "expected_improvement",
+    "probability_of_improvement",
+    "lower_confidence_bound",
+]

@@ -1,0 +1,101 @@
+"""Grid search comparator (paper Section III-A: "less effective than BO").
+
+Enumerates a full-factorial grid in a deterministic order.  Also the
+engine behind the **LSTMBruteForce** baseline of Fig. 9: brute force is
+grid search run to exhaustion over a dense grid (the paper reports up to
+six weeks per workload at full density; our benches use reduced grids).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.bayesopt.optimizer import TrialRecord
+from repro.bayesopt.space import SearchSpace
+
+__all__ = ["GridSearch"]
+
+
+class GridSearch:
+    """Deterministic full-factorial sweep over a :class:`SearchSpace`."""
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        points_per_dim: int = 3,
+        shuffle: bool = False,
+        seed: int = 0,
+    ):
+        self.space = space
+        self.points_per_dim = int(points_per_dim)
+        self._grid = space.grid(points_per_dim)
+        if shuffle:
+            rng = np.random.default_rng(seed)
+            rng.shuffle(self._grid)
+        self._cursor = 0
+        self.history: list[TrialRecord] = []
+
+    @property
+    def n_trials(self) -> int:
+        return len(self.history)
+
+    @property
+    def grid_size(self) -> int:
+        return len(self._grid)
+
+    @property
+    def exhausted(self) -> bool:
+        return self._cursor >= len(self._grid)
+
+    @property
+    def best_record(self) -> TrialRecord:
+        if not self.history:
+            raise RuntimeError("no trials evaluated yet")
+        return min(self.history, key=lambda r: r.value)
+
+    @property
+    def best_config(self) -> dict:
+        return dict(self.best_record.config)
+
+    @property
+    def best_value(self) -> float:
+        return self.best_record.value
+
+    def suggest(self) -> dict:
+        """Next unexplored grid point (raises when exhausted)."""
+        if self.exhausted:
+            raise StopIteration("grid exhausted")
+        config = self._grid[self._cursor]
+        self._cursor += 1
+        return dict(config)
+
+    def tell(self, config: dict, value: float, **metadata) -> TrialRecord:
+        self.space.validate(config)
+        if not np.isfinite(value):
+            value = 1e6
+        record = TrialRecord(
+            iteration=self.n_trials, config=dict(config), value=float(value), metadata=metadata
+        )
+        self.history.append(record)
+        return record
+
+    def run(
+        self,
+        objective: Callable[[dict], float],
+        n_iters: int | None = None,
+        callback: Callable[[TrialRecord], None] | None = None,
+    ) -> TrialRecord:
+        """Sweep the grid (or its first ``n_iters`` points)."""
+        budget = self.grid_size - self._cursor if n_iters is None else n_iters
+        if budget < 1:
+            raise ValueError("n_iters must be >= 1")
+        for _ in range(budget):
+            if self.exhausted:
+                break
+            config = self.suggest()
+            record = self.tell(config, objective(config))
+            if callback is not None:
+                callback(record)
+        return self.best_record

@@ -1,0 +1,233 @@
+"""The Bayesian-Optimization loop (paper Fig. 6 steps 2–4).
+
+Each iteration:
+
+1. fit a GP regression model over (explored hyperparameter sets →
+   cross-validation error) — the "database" of validated models;
+2. maximize the acquisition (expected improvement by default) over the
+   unit cube to propose the next, potentially-better set;
+3. hand it to the caller (ask/tell) or evaluate the objective directly
+   (:meth:`BayesianOptimizer.run`).
+
+Acquisition maximization uses dense random candidates plus local
+perturbations of the incumbent, followed by an L-BFGS-B polish of the
+best candidate in the continuous relaxation; the decoded config is
+deduplicated against history (integer rounding collapses nearby points).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+from scipy.optimize import minimize
+
+from repro.bayesopt.acquisition import ACQUISITIONS
+from repro.bayesopt.space import SearchSpace
+from repro.gp import GaussianProcessRegressor, Matern52
+
+__all__ = ["BayesianOptimizer", "TrialRecord"]
+
+
+@dataclass
+class TrialRecord:
+    """One validated hyperparameter set and its objective value."""
+
+    iteration: int
+    config: dict
+    value: float
+    metadata: dict = field(default_factory=dict)
+
+
+class BayesianOptimizer:
+    """GP-based minimizer over a :class:`SearchSpace`.
+
+    Parameters
+    ----------
+    space:
+        The hyperparameter space (Table III ranges for LoadDynamics).
+    n_initial:
+        Random configurations evaluated before the GP takes over (the
+        workflow "starts with a randomly selected set", Fig. 6).
+    acquisition:
+        ``"ei"`` (paper), ``"pi"`` or ``"lcb"``.
+    xi / kappa:
+        Acquisition exploration parameters.
+    n_candidates:
+        Random candidates scored per suggestion.
+    seed:
+        Reproducibility seed for candidate sampling and the GP restarts.
+    """
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        n_initial: int = 5,
+        acquisition: str = "ei",
+        xi: float = 0.01,
+        kappa: float = 2.0,
+        n_candidates: int = 1024,
+        gp_noise: float = 1e-4,
+        seed: int = 0,
+    ):
+        if acquisition not in ACQUISITIONS:
+            raise ValueError(
+                f"unknown acquisition {acquisition!r}; choose from {sorted(ACQUISITIONS)}"
+            )
+        if n_initial < 1:
+            raise ValueError("n_initial must be >= 1")
+        self.space = space
+        self.n_initial = int(n_initial)
+        self.acquisition_name = acquisition
+        self.xi = float(xi)
+        self.kappa = float(kappa)
+        self.n_candidates = int(n_candidates)
+        self.gp_noise = float(gp_noise)
+        self._rng = np.random.default_rng(seed)
+        self._seed = seed
+        self.history: list[TrialRecord] = []
+        self._X: list[np.ndarray] = []
+        self._y: list[float] = []
+        self._pending: dict | None = None
+
+    # ------------------------------------------------------------------
+    # state
+    # ------------------------------------------------------------------
+    @property
+    def n_trials(self) -> int:
+        return len(self.history)
+
+    @property
+    def best_record(self) -> TrialRecord:
+        """The lowest-error trial seen so far (workflow step 4)."""
+        if not self.history:
+            raise RuntimeError("no trials evaluated yet")
+        return min(self.history, key=lambda r: r.value)
+
+    @property
+    def best_config(self) -> dict:
+        return dict(self.best_record.config)
+
+    @property
+    def best_value(self) -> float:
+        return self.best_record.value
+
+    # ------------------------------------------------------------------
+    # ask / tell
+    # ------------------------------------------------------------------
+    def suggest(self) -> dict:
+        """Propose the next hyperparameter set to validate."""
+        if self.n_trials < self.n_initial or len(self._y) < 2:
+            config = self.space.sample(self._rng, 1)[0]
+        else:
+            config = self._suggest_with_gp()
+        self._pending = config
+        return config
+
+    def tell(self, config: dict, value: float, **metadata) -> TrialRecord:
+        """Record the objective value for a suggested (or external) config."""
+        if not np.isfinite(value):
+            # Failed trainings (diverged loss etc.) are recorded at a large
+            # finite penalty so the GP steers away instead of crashing.
+            value = 1e6
+        self.space.validate(config)
+        record = TrialRecord(iteration=self.n_trials, config=dict(config), value=float(value), metadata=metadata)
+        self.history.append(record)
+        self._X.append(self.space.to_unit(config))
+        self._y.append(float(value))
+        self._pending = None
+        return record
+
+    # ------------------------------------------------------------------
+    # the GP suggestion machinery
+    # ------------------------------------------------------------------
+    def _fit_surrogate(self) -> GaussianProcessRegressor:
+        gp = GaussianProcessRegressor(
+            kernel=Matern52(ard=True, n_dims=self.space.n_dims, lengthscale=0.3),
+            noise=self.gp_noise,
+            optimize=True,
+            optimize_noise=True,
+            n_restarts=1,
+            seed=int(self._rng.integers(2**31)),
+        )
+        gp.fit(np.vstack(self._X), np.asarray(self._y))
+        return gp
+
+    def _acquisition_values(
+        self, gp: GaussianProcessRegressor, U: np.ndarray
+    ) -> np.ndarray:
+        mu, sd = gp.predict(U, return_std=True)
+        fn = ACQUISITIONS[self.acquisition_name]
+        best = float(np.min(self._y))
+        if self.acquisition_name == "lcb":
+            return fn(mu, sd, best, kappa=self.kappa)
+        return fn(mu, sd, best, xi=self.xi)
+
+    def _suggest_with_gp(self) -> dict:
+        gp = self._fit_surrogate()
+        d = self.space.n_dims
+
+        # Candidate pool: global uniform + local Gaussian perturbations of
+        # the incumbent (standard GPyOpt-style mixed strategy).
+        n_local = max(1, self.n_candidates // 4)
+        U_global = self._rng.uniform(size=(self.n_candidates, d))
+        incumbent = self._X[int(np.argmin(self._y))]
+        U_local = np.clip(
+            incumbent + 0.05 * self._rng.standard_normal((n_local, d)), 0.0, 1.0
+        )
+        U = np.vstack([U_global, U_local])
+        scores = self._acquisition_values(gp, U)
+        u_best = U[int(np.argmax(scores))]
+
+        # L-BFGS-B polish in the continuous relaxation.
+        def neg_acq(u):
+            return -float(self._acquisition_values(gp, u[None, :])[0])
+
+        res = minimize(
+            neg_acq,
+            u_best,
+            method="L-BFGS-B",
+            bounds=[(0.0, 1.0)] * d,
+            options={"maxiter": 50},
+        )
+        if np.isfinite(res.fun) and -res.fun >= float(np.max(scores)):
+            u_best = res.x
+
+        config = self.space.from_unit(u_best)
+        if self._is_duplicate(config):
+            # Integer rounding collapsed onto an explored point; fall back
+            # to the best *novel* candidate, then to random.
+            order = np.argsort(scores)[::-1]
+            for idx in order[: min(64, len(order))]:
+                cand = self.space.from_unit(U[idx])
+                if not self._is_duplicate(cand):
+                    return cand
+            return self.space.sample(self._rng, 1)[0]
+        return config
+
+    def _is_duplicate(self, config: dict) -> bool:
+        return any(r.config == config for r in self.history)
+
+    # ------------------------------------------------------------------
+    # closed-loop driver
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        objective: Callable[[dict], float],
+        n_iters: int,
+        callback: Callable[[TrialRecord], None] | None = None,
+    ) -> TrialRecord:
+        """Evaluate ``objective`` for ``n_iters`` iterations; return the best.
+
+        ``n_iters`` is the paper's ``maxIters`` (100 in their runs).
+        """
+        if n_iters < 1:
+            raise ValueError("n_iters must be >= 1")
+        for _ in range(n_iters):
+            config = self.suggest()
+            value = objective(config)
+            record = self.tell(config, value)
+            if callback is not None:
+                callback(record)
+        return self.best_record

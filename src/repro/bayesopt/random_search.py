@@ -1,0 +1,79 @@
+"""Random search comparator (paper Section III-A).
+
+The paper found random search reaches similar accuracy to BO but needs
+more time; it shares the ask/tell/run interface of
+:class:`~repro.bayesopt.optimizer.BayesianOptimizer` so the ablation
+bench can swap optimizers without touching the evaluation loop.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.bayesopt.optimizer import TrialRecord
+from repro.bayesopt.space import SearchSpace
+
+__all__ = ["RandomSearch"]
+
+
+class RandomSearch:
+    """Uniform random sampling over a :class:`SearchSpace`."""
+
+    def __init__(self, space: SearchSpace, seed: int = 0, avoid_duplicates: bool = True):
+        self.space = space
+        self._rng = np.random.default_rng(seed)
+        self.avoid_duplicates = bool(avoid_duplicates)
+        self.history: list[TrialRecord] = []
+
+    @property
+    def n_trials(self) -> int:
+        return len(self.history)
+
+    @property
+    def best_record(self) -> TrialRecord:
+        if not self.history:
+            raise RuntimeError("no trials evaluated yet")
+        return min(self.history, key=lambda r: r.value)
+
+    @property
+    def best_config(self) -> dict:
+        return dict(self.best_record.config)
+
+    @property
+    def best_value(self) -> float:
+        return self.best_record.value
+
+    def suggest(self) -> dict:
+        """Draw a uniform config (retrying a few times to dodge repeats)."""
+        for _ in range(16 if self.avoid_duplicates else 1):
+            config = self.space.sample(self._rng, 1)[0]
+            if not any(r.config == config for r in self.history):
+                return config
+        return config
+
+    def tell(self, config: dict, value: float, **metadata) -> TrialRecord:
+        self.space.validate(config)
+        if not np.isfinite(value):
+            value = 1e6
+        record = TrialRecord(
+            iteration=self.n_trials, config=dict(config), value=float(value), metadata=metadata
+        )
+        self.history.append(record)
+        return record
+
+    def run(
+        self,
+        objective: Callable[[dict], float],
+        n_iters: int,
+        callback: Callable[[TrialRecord], None] | None = None,
+    ) -> TrialRecord:
+        if n_iters < 1:
+            raise ValueError("n_iters must be >= 1")
+        for _ in range(n_iters):
+            config = self.suggest()
+            record = self.tell(config, objective(config))
+            if callback is not None:
+                callback(record)
+        return self.best_record

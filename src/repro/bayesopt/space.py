@@ -1,0 +1,227 @@
+"""Mixed hyperparameter search spaces with unit-cube encoding.
+
+Table III of the paper defines per-workload box ranges for the four tuned
+hyperparameters (history length ``n``, cell size, layer count, batch
+size).  The GP surrogate works in a normalized [0, 1]^d cube; this module
+owns the bidirectional mapping, including log-scaling for ranges spanning
+orders of magnitude (history length 1–512, batch 16–1024) so the
+surrogate sees them at comparable resolution.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = ["IntParam", "FloatParam", "CategoricalParam", "SearchSpace"]
+
+
+@dataclass(frozen=True)
+class IntParam:
+    """Integer parameter on [low, high] inclusive; optionally log-scaled."""
+
+    name: str
+    low: int
+    high: int
+    log: bool = False
+
+    def __post_init__(self):
+        if self.low > self.high:
+            raise ValueError(f"{self.name}: low > high")
+        if self.log and self.low < 1:
+            raise ValueError(f"{self.name}: log scale requires low >= 1")
+
+    def to_unit(self, value: int) -> float:
+        if not self.low <= value <= self.high:
+            raise ValueError(f"{self.name}={value} outside [{self.low}, {self.high}]")
+        if self.high == self.low:
+            return 0.0
+        if self.log:
+            return (math.log(value) - math.log(self.low)) / (
+                math.log(self.high) - math.log(self.low)
+            )
+        return (value - self.low) / (self.high - self.low)
+
+    def from_unit(self, u: float) -> int:
+        u = min(max(float(u), 0.0), 1.0)
+        if self.log:
+            raw = math.exp(
+                math.log(self.low) + u * (math.log(self.high) - math.log(self.low))
+            )
+        else:
+            raw = self.low + u * (self.high - self.low)
+        return int(min(max(round(raw), self.low), self.high))
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return self.from_unit(rng.uniform())
+
+    def grid_values(self, k: int) -> list[int]:
+        """Up to k distinct values evenly spaced in the (possibly log) range."""
+        us = np.linspace(0.0, 1.0, max(2, k)) if self.high > self.low else [0.0]
+        vals = sorted({self.from_unit(u) for u in us})
+        return vals
+
+
+@dataclass(frozen=True)
+class FloatParam:
+    """Continuous parameter on [low, high]; optionally log-scaled."""
+
+    name: str
+    low: float
+    high: float
+    log: bool = False
+
+    def __post_init__(self):
+        if self.low > self.high:
+            raise ValueError(f"{self.name}: low > high")
+        if self.log and self.low <= 0:
+            raise ValueError(f"{self.name}: log scale requires low > 0")
+
+    def to_unit(self, value: float) -> float:
+        if not self.low <= value <= self.high:
+            raise ValueError(f"{self.name}={value} outside [{self.low}, {self.high}]")
+        if self.high == self.low:
+            return 0.0
+        if self.log:
+            return (math.log(value) - math.log(self.low)) / (
+                math.log(self.high) - math.log(self.low)
+            )
+        return (value - self.low) / (self.high - self.low)
+
+    def from_unit(self, u: float) -> float:
+        u = min(max(float(u), 0.0), 1.0)
+        if self.log:
+            raw = math.exp(
+                math.log(self.low) + u * (math.log(self.high) - math.log(self.low))
+            )
+        else:
+            raw = self.low + u * (self.high - self.low)
+        # exp/log round-off can land a hair outside the box; clamp.
+        return min(max(raw, self.low), self.high)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self.from_unit(rng.uniform())
+
+    def grid_values(self, k: int) -> list[float]:
+        if self.high == self.low:
+            return [self.low]
+        return [self.from_unit(u) for u in np.linspace(0.0, 1.0, max(2, k))]
+
+
+@dataclass(frozen=True)
+class CategoricalParam:
+    """Unordered finite choice (e.g. activation or loss function, §V)."""
+
+    name: str
+    choices: tuple = field(default_factory=tuple)
+
+    def __post_init__(self):
+        if len(self.choices) == 0:
+            raise ValueError(f"{self.name}: choices must be non-empty")
+
+    def to_unit(self, value: Any) -> float:
+        try:
+            idx = self.choices.index(value)
+        except ValueError:
+            raise ValueError(f"{self.name}={value!r} not in {self.choices}") from None
+        if len(self.choices) == 1:
+            return 0.0
+        return idx / (len(self.choices) - 1)
+
+    def from_unit(self, u: float) -> Any:
+        u = min(max(float(u), 0.0), 1.0)
+        idx = int(round(u * (len(self.choices) - 1)))
+        return self.choices[idx]
+
+    def sample(self, rng: np.random.Generator) -> Any:
+        return self.choices[int(rng.integers(len(self.choices)))]
+
+    def grid_values(self, k: int) -> list:
+        return list(self.choices)
+
+
+Param = IntParam | FloatParam | CategoricalParam
+
+
+class SearchSpace:
+    """Ordered collection of parameters with vector encode/decode.
+
+    The encoding maps a config dict to a point in [0, 1]^d, one dimension
+    per parameter; decoding rounds integers/categoricals back, so the BO
+    acquisition optimizer can work in a continuous relaxation.
+    """
+
+    def __init__(self, params: list[Param]):
+        if not params:
+            raise ValueError("search space needs at least one parameter")
+        names = [p.name for p in params]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate parameter names in {names}")
+        self.params = list(params)
+
+    @property
+    def n_dims(self) -> int:
+        return len(self.params)
+
+    @property
+    def names(self) -> list[str]:
+        return [p.name for p in self.params]
+
+    def __iter__(self):
+        return iter(self.params)
+
+    def __getitem__(self, name: str) -> Param:
+        for p in self.params:
+            if p.name == name:
+                return p
+        raise KeyError(name)
+
+    # ------------------------------------------------------------------
+    def validate(self, config: dict) -> None:
+        """Raise if ``config`` is missing keys or violates any range."""
+        missing = set(self.names) - set(config)
+        if missing:
+            raise ValueError(f"config missing parameters: {sorted(missing)}")
+        for p in self.params:
+            p.to_unit(config[p.name])  # raises when out of range
+
+    def to_unit(self, config: dict) -> np.ndarray:
+        """Encode a config dict as a unit-cube vector."""
+        return np.array([p.to_unit(config[p.name]) for p in self.params])
+
+    def from_unit(self, u: np.ndarray) -> dict:
+        """Decode a unit-cube vector into a valid config dict."""
+        u = np.asarray(u, dtype=np.float64).ravel()
+        if u.size != self.n_dims:
+            raise ValueError(f"expected {self.n_dims}-dim vector, got {u.size}")
+        return {p.name: p.from_unit(u[i]) for i, p in enumerate(self.params)}
+
+    def sample(self, rng: np.random.Generator, n: int = 1) -> list[dict]:
+        """Draw ``n`` uniform random configs."""
+        return [{p.name: p.sample(rng) for p in self.params} for _ in range(n)]
+
+    def grid(self, points_per_dim: int = 3, max_points: int | None = None) -> list[dict]:
+        """Full-factorial grid, optionally truncated to ``max_points``.
+
+        Used by the grid-search comparator; the combinatorial explosion
+        this produces for Table III-sized spaces is exactly why the paper
+        rejects exhaustive search.
+        """
+        axes = [p.grid_values(points_per_dim) for p in self.params]
+        out: list[dict] = []
+        for combo in itertools.product(*axes):
+            out.append(dict(zip(self.names, combo, strict=True)))
+            if max_points is not None and len(out) >= max_points:
+                break
+        return out
+
+    def size_of_grid(self, points_per_dim: int = 3) -> int:
+        """Cardinality of :meth:`grid` without materializing it."""
+        n = 1
+        for p in self.params:
+            n *= len(p.grid_values(points_per_dim))
+        return n

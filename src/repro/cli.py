@@ -1,0 +1,172 @@
+"""Command-line interface: ``python -m repro.cli <command> [options]``.
+
+Commands map 1:1 to the experiment runners and the core workflow:
+
+* ``list`` — show the 14 workload configurations and all baselines;
+* ``fit`` — run LoadDynamics on a configuration, optionally save the
+  predictor;
+* ``predict`` — load a saved predictor and forecast the next interval;
+* ``fig2`` / ``fig5`` / ``fig9`` / ``table4`` / ``fig10`` / ``ablation``
+  — regenerate the paper artifacts at a chosen budget.
+
+Every command prints an aligned text table (the same rows the benchmark
+harness asserts on).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="LoadDynamics reproduction (IPDPS 2020) command-line interface",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workload configurations and baselines")
+
+    fit = sub.add_parser("fit", help="run the LoadDynamics workflow on a configuration")
+    fit.add_argument("config", help="workload configuration key, e.g. gl-30m")
+    fit.add_argument("--budget", default="reduced", choices=("paper", "reduced", "tiny"))
+    fit.add_argument("--max-iters", type=int, default=12, help="BO iterations (paper: 100)")
+    fit.add_argument("--epochs", type=int, default=30)
+    fit.add_argument("--extended", action="store_true",
+                     help="also tune loss/optimizer (paper §V)")
+    fit.add_argument("--save", metavar="DIR", help="save the predictor here")
+
+    pred = sub.add_parser("predict", help="forecast with a saved predictor")
+    pred.add_argument("model_dir", help="directory written by `repro fit --save`")
+    pred.add_argument("config", help="workload configuration key for the history")
+
+    for name, help_text in (
+        ("fig2", "prior-predictor motivation (Fig. 2)"),
+        ("fig5", "hyperparameter sensitivity (Fig. 5)"),
+        ("fig9", "headline accuracy comparison (Fig. 9)"),
+        ("fig10", "auto-scaling case study (Fig. 10)"),
+        ("ablation", "BO vs random vs grid (§III-A)"),
+    ):
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.add_argument("--max-eval", type=int, default=150)
+        if name == "fig5":
+            cmd.add_argument("--models", type=int, default=30)
+        if name == "fig9":
+            cmd.add_argument("--configs", nargs="*", default=None,
+                             help="subset of configuration keys (default: all 14)")
+            cmd.add_argument("--max-iters", type=int, default=12)
+            cmd.add_argument("--no-brute-force", action="store_true")
+            cmd.add_argument("--table4", action="store_true",
+                             help="also print Table IV from the same runs")
+    return p
+
+
+def _cmd_list() -> int:
+    from repro.baselines import list_baselines
+    from repro.traces import ALL_CONFIGURATIONS
+
+    print("Workload configurations (Table I):")
+    for cfg in ALL_CONFIGURATIONS:
+        print(f"  {cfg.key:10s} ({cfg.trace_name}, {cfg.interval_minutes}-minute intervals)")
+    print("\nBaseline predictors:")
+    for name in list_baselines():
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_fit(args) -> int:
+    from repro.core import FrameworkSettings, LoadDynamics, search_space_for
+    from repro.traces import get_configuration
+
+    series = get_configuration(args.config).load()
+    trace = args.config.split("-")[0]
+    ld = LoadDynamics(
+        space=search_space_for(trace, args.budget, extended=args.extended),
+        settings=FrameworkSettings.reduced(max_iters=args.max_iters, epochs=args.epochs),
+    )
+    predictor, report = ld.fit(series)
+    hp = report.best_hyperparameters
+    print(f"workload          : {args.config} ({len(series)} intervals)")
+    print(f"trials            : {report.n_trials} ({report.n_infeasible} infeasible)")
+    print(f"selected          : n={hp.history_len} s={hp.cell_size} "
+          f"layers={hp.num_layers} batch={hp.batch_size}")
+    print(f"validation MAPE   : {report.best_validation_mape:.2f}%")
+    print(f"test MAPE         : {ld.evaluate(predictor, series):.2f}%")
+    print(f"fit wall time     : {report.total_seconds:.1f}s")
+    if args.save:
+        path = predictor.save(args.save)
+        print(f"saved predictor   : {path}")
+    return 0
+
+
+def _cmd_predict(args) -> int:
+    from repro.core import LoadDynamicsPredictor
+    from repro.traces import get_configuration
+
+    predictor = LoadDynamicsPredictor.load(args.model_dir)
+    series = get_configuration(args.config).load()
+    value = predictor.predict_next(series)
+    print(f"last observed JAR : {series[-1]:,.0f}")
+    print(f"predicted next JAR: {value:,.0f}")
+    return 0
+
+
+def _cmd_figures(args) -> int:
+    from repro.experiments import (
+        format_table,
+        run_fig2,
+        run_fig5,
+        run_fig9,
+        run_fig10,
+        run_search_ablation,
+        run_table4,
+    )
+
+    if args.command == "fig2":
+        print(format_table(run_fig2(max_eval=args.max_eval)))
+    elif args.command == "fig5":
+        out = run_fig5(n_models=args.models)
+        print(f"{out['n_feasible']} models on {out['workload']}: "
+              f"min={out['min']:.2f}% median={out['median']:.2f}% "
+              f"max={out['max']:.2f}% spread={out['spread_ratio']:.1f}x")
+    elif args.command == "fig9":
+        from repro.core import FrameworkSettings
+
+        result = run_fig9(
+            configurations=args.configs,
+            settings=FrameworkSettings.reduced(max_iters=args.max_iters),
+            include_brute_force=not args.no_brute_force,
+            max_eval=args.max_eval,
+            verbose=True,
+        )
+        print(format_table(result.rows + [result.average_row()]))
+        if args.table4:
+            print("\nTable IV:")
+            print(format_table(run_table4(result)))
+    elif args.command == "fig10":
+        rows = run_fig10(max_eval=args.max_eval)
+        print(format_table(rows))
+    elif args.command == "ablation":
+        print(format_table(run_search_ablation(max_eval=args.max_eval)))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    np.set_printoptions(precision=3, suppress=True)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "fit":
+        return _cmd_fit(args)
+    if args.command == "predict":
+        return _cmd_predict(args)
+    return _cmd_figures(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

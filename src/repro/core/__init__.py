@@ -1,0 +1,40 @@
+"""LoadDynamics — the paper's primary contribution.
+
+The self-optimized generic workload prediction framework (paper
+Section III): stacked LSTM predictors whose four hyperparameters
+(history length ``n``, cell-memory size, layer count, batch size) are
+tuned per workload by Bayesian Optimization over the Table III search
+space, following the Fig. 6 workflow.
+
+Public entry points:
+
+* :class:`~repro.core.framework.LoadDynamics` — fit on a JAR series,
+  get back a :class:`~repro.core.predictor.LoadDynamicsPredictor`;
+* :func:`~repro.core.config.search_space_for` — Table III spaces;
+* :mod:`~repro.core.windowing` / :mod:`~repro.core.scaling` — the data
+  plumbing (Eq. 1 windows, leak-free min-max normalization).
+"""
+
+from repro.core.adaptive import AdaptiveLoadDynamics
+from repro.core.config import (
+    FrameworkSettings,
+    LSTMHyperparameters,
+    search_space_for,
+)
+from repro.core.framework import FitReport, LoadDynamics
+from repro.core.predictor import LoadDynamicsPredictor
+from repro.core.scaling import MinMaxScaler
+from repro.core.windowing import make_windows, windows_for_range
+
+__all__ = [
+    "AdaptiveLoadDynamics",
+    "LoadDynamics",
+    "LoadDynamicsPredictor",
+    "FitReport",
+    "LSTMHyperparameters",
+    "FrameworkSettings",
+    "search_space_for",
+    "MinMaxScaler",
+    "make_windows",
+    "windows_for_range",
+]

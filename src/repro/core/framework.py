@@ -1,0 +1,239 @@
+"""The LoadDynamics workflow (paper Fig. 6).
+
+Phases, mapped to the figure's numbered steps:
+
+1. **Train** — configure an LSTM with the current hyperparameter set and
+   train it on the training split (first 60% of JARs, min-max scaled).
+2. **Validate** — predict every cross-validation JAR (next 20%) and
+   compute the MAPE.
+3. **Optimize** — feed (hyperparameters, error) to Bayesian Optimization,
+   which proposes the next set from the Table III space.
+4. **Select** — after ``maxIters`` iterations keep the lowest-error model
+   as the workload's predictor ``f``.
+5. **Predict** — the returned :class:`LoadDynamicsPredictor` serves
+   future JARs.
+
+The alternative optimizers discussed in Section III-A (random and grid
+search) can be swapped in via ``optimizer_cls`` for the ablation bench —
+everything else in the workflow is shared.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bayesopt.optimizer import BayesianOptimizer, TrialRecord
+from repro.bayesopt.space import SearchSpace
+from repro.core.config import FrameworkSettings, LSTMHyperparameters, search_space_for
+from repro.core.predictor import LoadDynamicsPredictor
+from repro.core.scaling import MinMaxScaler
+from repro.core.windowing import make_windows, windows_for_range
+from repro.metrics import mape
+from repro.nn.network import LSTMRegressor
+
+__all__ = ["LoadDynamics", "FitReport"]
+
+#: Objective value for hyperparameter sets that cannot be trained
+#: (history longer than the training split, degenerate windows, ...).
+_INFEASIBLE_PENALTY = 1e6
+
+
+@dataclass
+class FitReport:
+    """Everything the fit produced besides the predictor itself."""
+
+    best_hyperparameters: LSTMHyperparameters
+    best_validation_mape: float
+    trials: list[TrialRecord] = field(default_factory=list)
+    total_seconds: float = 0.0
+    n_infeasible: int = 0
+
+    @property
+    def n_trials(self) -> int:
+        return len(self.trials)
+
+    def trial_values(self) -> np.ndarray:
+        """Validation MAPE per BO iteration (for convergence plots)."""
+        return np.array([t.value for t in self.trials])
+
+
+class LoadDynamics:
+    """Self-optimized LSTM workload predictor factory.
+
+    Parameters
+    ----------
+    space:
+        Hyperparameter search space; defaults to the Table III space for
+        ``trace_name`` under the given ``budget``.
+    settings:
+        Workflow knobs (``maxIters``, split fractions, training loop).
+    trace_name / budget:
+        Convenience route to :func:`repro.core.config.search_space_for`.
+    optimizer_cls:
+        ``BayesianOptimizer`` (paper) or a drop-in like ``RandomSearch``/
+        ``GridSearch`` for the Section III-A comparison.
+    """
+
+    def __init__(
+        self,
+        space: SearchSpace | None = None,
+        settings: FrameworkSettings | None = None,
+        trace_name: str = "default",
+        budget: str = "paper",
+        optimizer_cls=BayesianOptimizer,
+        optimizer_kwargs: dict | None = None,
+    ):
+        self.space = space if space is not None else search_space_for(trace_name, budget)
+        self.settings = settings if settings is not None else FrameworkSettings()
+        self.optimizer_cls = optimizer_cls
+        self.optimizer_kwargs = dict(optimizer_kwargs or {})
+
+    # ------------------------------------------------------------------
+    def fit(self, series: np.ndarray) -> tuple[LoadDynamicsPredictor, FitReport]:
+        """Run the full Fig. 6 workflow on a JAR series.
+
+        Returns the selected predictor and a :class:`FitReport` with the
+        per-iteration trial history.
+        """
+        t_start = time.perf_counter()
+        s = np.asarray(series, dtype=np.float64).ravel()
+        cfg = self.settings
+        n_total = s.size
+        i_train_end = int(round(cfg.train_frac * n_total))
+        i_val_end = int(round((cfg.train_frac + cfg.val_frac) * n_total))
+        if i_train_end < 4 or i_val_end - i_train_end < 2:
+            raise ValueError(
+                f"series of length {n_total} too short for the "
+                f"{cfg.train_frac:.0%}/{cfg.val_frac:.0%} split"
+            )
+
+        # Scaler fit on the training split ONLY (leakage guard).
+        scaler = MinMaxScaler().fit(s[:i_train_end])
+        scaled = scaler.transform(s)
+
+        best: dict = {"mape": np.inf, "model": None, "config": None}
+        n_infeasible = 0
+
+        def objective(config: dict) -> float:
+            nonlocal n_infeasible
+            value, model = self._train_and_validate(
+                scaled, s, scaler, config, i_train_end, i_val_end
+            )
+            if model is None:
+                n_infeasible += 1
+            elif value < best["mape"]:
+                best.update(mape=value, model=model, config=config)
+            return value
+
+        optimizer = self._make_optimizer()
+        optimizer.run(objective, cfg.max_iters)
+
+        if best["model"] is None:
+            raise RuntimeError(
+                "no feasible hyperparameter set found; widen the search space "
+                "or provide a longer series"
+            )
+        hp = LSTMHyperparameters.from_dict(best["config"])
+        predictor = LoadDynamicsPredictor(
+            model=best["model"],
+            scaler=scaler,
+            hyperparameters=hp,
+            validation_mape=best["mape"],
+        )
+        report = FitReport(
+            best_hyperparameters=hp,
+            best_validation_mape=best["mape"],
+            trials=list(optimizer.history),
+            total_seconds=time.perf_counter() - t_start,
+            n_infeasible=n_infeasible,
+        )
+        return predictor, report
+
+    # ------------------------------------------------------------------
+    def _make_optimizer(self):
+        kwargs = dict(self.optimizer_kwargs)
+        if self.optimizer_cls is BayesianOptimizer:
+            kwargs.setdefault("n_initial", self.settings.n_initial)
+            kwargs.setdefault("acquisition", self.settings.acquisition)
+            kwargs.setdefault("seed", self.settings.seed)
+        elif "seed" not in kwargs and hasattr(self.optimizer_cls, "__init__"):
+            # Random search takes a seed; grid search takes none of ours.
+            try:
+                return self.optimizer_cls(self.space, seed=self.settings.seed, **kwargs)
+            except TypeError:
+                return self.optimizer_cls(self.space, **kwargs)
+        return self.optimizer_cls(self.space, **kwargs)
+
+    def _train_and_validate(
+        self,
+        scaled: np.ndarray,
+        raw: np.ndarray,
+        scaler: MinMaxScaler,
+        config: dict,
+        i_train_end: int,
+        i_val_end: int,
+    ) -> tuple[float, LSTMRegressor | None]:
+        """Fig. 6 steps 1–2 for one hyperparameter set."""
+        cfg = self.settings
+        n = int(config["history_len"])
+
+        # Feasibility: the training split must yield enough windows.
+        if i_train_end - n < cfg.min_train_windows:
+            return _INFEASIBLE_PENALTY, None
+        X_train, y_train = make_windows(scaled[:i_train_end], n)
+        if cfg.max_train_windows is not None and len(y_train) > cfg.max_train_windows:
+            X_train = X_train[-cfg.max_train_windows :]
+            y_train = y_train[-cfg.max_train_windows :]
+        X_val, y_val_scaled = windows_for_range(scaled, n, i_train_end, i_val_end)
+        if X_val.shape[0] < 1:
+            return _INFEASIBLE_PENALTY, None
+
+        model = LSTMRegressor(
+            hidden_size=int(config["cell_size"]),
+            num_layers=int(config["num_layers"]),
+            seed=cfg.seed,
+        )
+        try:
+            model.fit(
+                X_train,
+                y_train,
+                epochs=cfg.epochs,
+                batch_size=int(config["batch_size"]),
+                lr=cfg.lr,
+                # Extended spaces (Section V) tune these; plain Table III
+                # spaces fall back to the fixed settings.
+                optimizer=str(config.get("optimizer", cfg.optimizer)),
+                loss=str(config.get("loss", cfg.loss)),
+                clip_norm=cfg.clip_norm,
+                validation=(X_val, y_val_scaled),
+                patience=cfg.patience,
+            )
+        except (FloatingPointError, np.linalg.LinAlgError):
+            return _INFEASIBLE_PENALTY, None
+
+        # Validation error in *raw* JAR units (MAPE is scale-sensitive).
+        pred_scaled = model.predict(X_val)
+        pred = np.maximum(scaler.inverse_transform(pred_scaled), 0.0)
+        actual = scaler.inverse_transform(y_val_scaled)
+        try:
+            value = mape(pred, actual)
+        except ValueError:
+            return _INFEASIBLE_PENALTY, None
+        if not np.isfinite(value):
+            return _INFEASIBLE_PENALTY, None
+        return value, model
+
+    # ------------------------------------------------------------------
+    def evaluate(
+        self, predictor: LoadDynamicsPredictor, series: np.ndarray
+    ) -> float:
+        """Test MAPE on the last ``1 - train - val`` fraction of ``series``
+        (the paper's accuracy number, Section IV-B)."""
+        s = np.asarray(series, dtype=np.float64).ravel()
+        cfg = self.settings
+        i_test = int(round((cfg.train_frac + cfg.val_frac) * s.size))
+        preds = predictor.predict_series(s, i_test)
+        return mape(preds, s[i_test:])

@@ -1,0 +1,81 @@
+"""Min-max normalization fit on the training split only.
+
+LSTM gates saturate far from [0, 1]-scale inputs, so JARs (which span
+1–10^7 across the paper's traces) are normalized before training.  The
+scaler must be fit on the *training* split only — fitting on the full
+series would leak the test range into training, inflating accuracy; the
+leakage guard is part of the tested contract.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["MinMaxScaler"]
+
+
+class MinMaxScaler:
+    """Affine map of [data_min, data_max] onto [lo, hi] (default [0, 1]).
+
+    Values outside the fitted range (the test split routinely exceeds the
+    training maximum for growing workloads) are transformed by the same
+    affine map — *not* clipped — so inverse_transform is always exact.
+    """
+
+    def __init__(self, feature_range: tuple[float, float] = (0.0, 1.0)):
+        lo, hi = feature_range
+        if not lo < hi:
+            raise ValueError("feature_range must be increasing")
+        self.lo = float(lo)
+        self.hi = float(hi)
+        self.data_min_: float | None = None
+        self.data_max_: float | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.data_min_ is not None
+
+    def fit(self, values: np.ndarray) -> "MinMaxScaler":
+        v = np.asarray(values, dtype=np.float64)
+        if v.size == 0:
+            raise ValueError("cannot fit scaler on empty data")
+        self.data_min_ = float(np.min(v))
+        self.data_max_ = float(np.max(v))
+        return self
+
+    def _scale(self) -> float:
+        span = self.data_max_ - self.data_min_
+        # Constant series: map everything to the midpoint, stay invertible
+        # by treating the span as 1 (transform then shifts only).
+        return (self.hi - self.lo) / (span if span > 1e-12 else 1.0)
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        if not self.is_fitted:
+            raise RuntimeError("call fit() first")
+        v = np.asarray(values, dtype=np.float64)
+        return self.lo + (v - self.data_min_) * self._scale()
+
+    def inverse_transform(self, values: np.ndarray) -> np.ndarray:
+        if not self.is_fitted:
+            raise RuntimeError("call fit() first")
+        v = np.asarray(values, dtype=np.float64)
+        return self.data_min_ + (v - self.lo) / self._scale()
+
+    def fit_transform(self, values: np.ndarray) -> np.ndarray:
+        return self.fit(values).transform(values)
+
+    def state(self) -> dict:
+        """Serializable state (used by predictor save/load)."""
+        return {
+            "lo": self.lo,
+            "hi": self.hi,
+            "data_min": self.data_min_,
+            "data_max": self.data_max_,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "MinMaxScaler":
+        s = cls(feature_range=(state["lo"], state["hi"]))
+        s.data_min_ = state["data_min"]
+        s.data_max_ = state["data_max"]
+        return s

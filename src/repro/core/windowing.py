@@ -1,0 +1,56 @@
+"""Supervised windowing of JAR series (paper Eq. 1).
+
+``P_i = f(J_{i-1}, …, J_{i-n})``: every training sample is a length-n
+sliding window paired with the value that followed it.  Windows are
+built with stride tricks (zero-copy views) and only materialized where
+the training loop needs contiguous batches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["make_windows", "windows_for_range"]
+
+
+def make_windows(series: np.ndarray, n: int) -> tuple[np.ndarray, np.ndarray]:
+    """All (window → next value) pairs within ``series``.
+
+    Returns ``X`` of shape (N, n) and ``y`` of shape (N,) where
+    ``X[j] = series[j : j+n]`` and ``y[j] = series[j+n]``.
+    """
+    s = np.asarray(series, dtype=np.float64).ravel()
+    if n < 1:
+        raise ValueError("history length n must be >= 1")
+    if s.size <= n:
+        raise ValueError(
+            f"series of length {s.size} yields no windows of history length {n}"
+        )
+    X = np.lib.stride_tricks.sliding_window_view(s[:-1], n)
+    y = s[n:]
+    return np.ascontiguousarray(X), y.copy()
+
+
+def windows_for_range(
+    series: np.ndarray, n: int, start: int, end: int | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Windows whose *targets* fall in ``series[start:end]``.
+
+    This is how the cross-validation and test sets are evaluated in the
+    paper's workflow: the targets come from the held-out range, but each
+    window may reach back into earlier data (the series is continuous in
+    time — Fig. 7).  Targets whose window would start before index 0 are
+    dropped.
+    """
+    s = np.asarray(series, dtype=np.float64).ravel()
+    if n < 1:
+        raise ValueError("history length n must be >= 1")
+    end = s.size if end is None else end
+    if not 0 <= start < end <= s.size:
+        raise ValueError(f"invalid target range [{start}, {end}) for length {s.size}")
+    first = max(start, n)  # earliest target with a full window
+    if first >= end:
+        return np.empty((0, n)), np.empty(0)
+    idx = np.arange(first, end)
+    X = np.lib.stride_tricks.sliding_window_view(s, n)[idx - n]
+    return np.ascontiguousarray(X), s[idx].copy()

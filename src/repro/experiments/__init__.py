@@ -1,0 +1,45 @@
+"""Experiment runners — one per table/figure of the paper's evaluation.
+
+Each runner returns plain row dicts (printable with
+:func:`repro.experiments.common.format_table`) so the pytest-benchmark
+harnesses in ``benchmarks/`` and the EXPERIMENTS.md generator share one
+code path.  Budgets are explicit arguments; the defaults are the
+CI-scale settings documented in DESIGN.md §6.
+
+* :mod:`fig2` — motivation: prior predictors on Google/Facebook/Wiki
+* :mod:`fig5` — LSTM hyperparameter sensitivity on Google
+* :mod:`fig9` — the headline 14-configuration accuracy comparison
+* :mod:`table4` — min–max of BO-selected hyperparameters per trace
+* :mod:`fig10` — auto-scaling case study on Azure-60m
+* :mod:`ablations` — BO vs random vs grid; acquisition functions
+"""
+
+from repro.experiments.common import (
+    baseline_test_mape,
+    evaluate_on_test,
+    fit_loaddynamics,
+    format_table,
+    test_start_index,
+)
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.fig9 import Fig9Result, run_fig9
+from repro.experiments.fig10 import run_fig10
+from repro.experiments.table4 import run_table4
+from repro.experiments.ablations import run_acquisition_ablation, run_search_ablation
+
+__all__ = [
+    "run_fig2",
+    "run_fig5",
+    "run_fig9",
+    "Fig9Result",
+    "run_table4",
+    "run_fig10",
+    "run_search_ablation",
+    "run_acquisition_ablation",
+    "fit_loaddynamics",
+    "baseline_test_mape",
+    "evaluate_on_test",
+    "test_start_index",
+    "format_table",
+]

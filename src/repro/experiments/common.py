@@ -1,0 +1,108 @@
+"""Shared plumbing for experiment runners.
+
+All accuracy numbers follow the paper's protocol (Section IV-A/B): the
+last 20% of each workload configuration is the test set, predicted one
+interval ahead with no lookahead, scored by MAPE.
+
+``max_eval`` caps how many test intervals are scored (most recent kept)
+so walk-forward baselines with expensive refits (CloudInsight rebuilds
+21 models every 5 intervals) stay tractable on 6000-interval 5-minute
+traces; the *same* cap is applied to every method in a comparison, so
+rankings are computed on identical targets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import make_baseline, walk_forward
+from repro.core import FrameworkSettings, LoadDynamics, LoadDynamicsPredictor, search_space_for
+from repro.core.framework import FitReport
+from repro.metrics import mape
+
+__all__ = [
+    "test_start_index",
+    "evaluate_on_test",
+    "baseline_test_mape",
+    "fit_loaddynamics",
+    "format_table",
+]
+
+TRAIN_FRAC = 0.6
+VAL_FRAC = 0.2
+
+
+def test_start_index(n: int, max_eval: int | None = None) -> int:
+    """First index of the evaluated test window for a series of length n."""
+    start = int(round((TRAIN_FRAC + VAL_FRAC) * n))
+    if max_eval is not None and n - start > max_eval:
+        start = n - max_eval
+    return start
+
+
+def evaluate_on_test(
+    predictions: np.ndarray, series: np.ndarray, start: int
+) -> float:
+    """MAPE of one-step predictions against ``series[start:]``."""
+    return mape(predictions, series[start:])
+
+
+def baseline_test_mape(
+    name: str,
+    series: np.ndarray,
+    max_eval: int | None = None,
+    refit_every: int | None = None,
+) -> float:
+    """Walk a named baseline over the test window and score it.
+
+    ``refit_every`` defaults to 1 for CloudInsight (its council
+    bookkeeping is per-interval) and 5 for other model-based predictors.
+    """
+    predictor = make_baseline(name)
+    if refit_every is None:
+        refit_every = 1 if name == "cloudinsight" else 5
+    start = test_start_index(len(series), max_eval)
+    preds = walk_forward(predictor, series, start, refit_every=refit_every)
+    return evaluate_on_test(preds, series, start)
+
+
+def fit_loaddynamics(
+    series: np.ndarray,
+    trace_name: str,
+    budget: str = "reduced",
+    settings: FrameworkSettings | None = None,
+    max_eval: int | None = None,
+) -> tuple[LoadDynamicsPredictor, FitReport, float]:
+    """Run the full LoadDynamics workflow and score the test window.
+
+    Returns (predictor, fit report, test MAPE).
+    """
+    if settings is None:
+        settings = FrameworkSettings.reduced()
+    ld = LoadDynamics(space=search_space_for(trace_name, budget), settings=settings)
+    predictor, report = ld.fit(series)
+    start = test_start_index(len(series), max_eval)
+    preds = predictor.predict_series(series, start)
+    return predictor, report, evaluate_on_test(preds, series, start)
+
+
+def format_table(rows: list[dict], columns: list[str] | None = None) -> str:
+    """Render row dicts as an aligned text table (benches print these)."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered: list[list[str]] = [[str(c) for c in columns]]
+    for row in rows:
+        cells = []
+        for c in columns:
+            v = row.get(c, "")
+            cells.append(f"{v:.2f}" if isinstance(v, float) else str(v))
+        rendered.append(cells)
+    widths = [max(len(r[j]) for r in rendered) for j in range(len(columns))]
+    lines = []
+    for i, r in enumerate(rendered):
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(r, widths, strict=True)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""Markdown report generation from experiment results.
+
+Turns runner outputs into the EXPERIMENTS.md-style artifacts so a full
+reproduction run can be archived as one document:
+
+* :func:`rows_to_markdown` — row dicts → GitHub-flavoured table;
+* :func:`fig9_report` — Fig. 9 rows + average + Table IV in one section;
+* :func:`full_report` — stitch arbitrary named sections into a document.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig9 import Fig9Result
+from repro.experiments.table4 import run_table4
+
+__all__ = ["rows_to_markdown", "fig9_report", "full_report"]
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def rows_to_markdown(rows: list[dict], columns: list[str] | None = None) -> str:
+    """Render row dicts as a GitHub-flavoured markdown table."""
+    if not rows:
+        return "*(no rows)*"
+    if columns is None:
+        columns = list(rows[0].keys())
+    header = "| " + " | ".join(columns) + " |"
+    rule = "|" + "|".join("---" for _ in columns) + "|"
+    body = [
+        "| " + " | ".join(_fmt(row.get(c, "")) for c in columns) + " |"
+        for row in rows
+    ]
+    return "\n".join([header, rule, *body])
+
+
+def fig9_report(result: Fig9Result, title: str = "Fig. 9 — accuracy") -> str:
+    """One markdown section: per-configuration MAPEs, the average row,
+    and the Table IV hyperparameter ranges derived from the same runs."""
+    if not result.rows:
+        raise ValueError("empty Fig9Result")
+    parts = [f"## {title}", ""]
+    parts.append(rows_to_markdown(result.rows + [result.average_row()]))
+    parts.append("")
+    parts.append("### Table IV — selected hyperparameter ranges")
+    parts.append("")
+    parts.append(rows_to_markdown(run_table4(result)))
+    return "\n".join(parts)
+
+
+def full_report(sections: dict[str, str], title: str = "Reproduction report") -> str:
+    """Stitch named markdown sections into one document."""
+    parts = [f"# {title}", ""]
+    for name, body in sections.items():
+        if not body.lstrip().startswith("#"):
+            parts.append(f"## {name}")
+            parts.append("")
+        parts.append(body)
+        parts.append("")
+    return "\n".join(parts)

@@ -1,0 +1,40 @@
+"""Table IV — min/max of the hyperparameters LoadDynamics selected.
+
+The paper reports, per trace, the minimum and maximum value of each
+tuned hyperparameter across that trace's interval configurations,
+showing (a) high variation → manual tuning is impractical, and (b)
+selected values sit below the search-space maxima → the space is large
+enough.
+
+This runner consumes the :class:`~repro.experiments.fig9.Fig9Result`
+fit reports so Table IV comes from the same runs as Fig. 9 (as in the
+paper).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.experiments.fig9 import Fig9Result
+
+__all__ = ["run_table4"]
+
+_FIELDS = ("history_len", "cell_size", "num_layers", "batch_size")
+
+
+def run_table4(fig9_result: Fig9Result) -> list[dict]:
+    """Aggregate per-trace min–max of the BO-selected hyperparameters."""
+    if not fig9_result.reports:
+        raise ValueError("fig9_result has no fit reports")
+    per_trace: dict[str, list] = defaultdict(list)
+    for key, report in fig9_result.reports.items():
+        trace = key.split("-")[0]
+        per_trace[trace].append(report.best_hyperparameters)
+    rows: list[dict] = []
+    for trace, hps in sorted(per_trace.items()):
+        row: dict = {"workload": trace, "n_configs": len(hps)}
+        for f in _FIELDS:
+            values = [getattr(h, f) for h in hps]
+            row[f] = f"{min(values)}-{max(values)}"
+        rows.append(row)
+    return rows

@@ -1,0 +1,36 @@
+"""Gaussian-process regression substrate (replaces GPyOpt's internals).
+
+LoadDynamics' Bayesian Optimization builds a GP regression model over
+explored hyperparameter sets (paper Section III-A).  This subpackage
+provides the probabilistic model:
+
+* :mod:`repro.gp.kernels` — RBF (ARD), Matérn 3/2 & 5/2, white noise,
+  sums/products, all parameterized in log-space with analytic gradients;
+* :mod:`repro.gp.gp` — exact GP regression via Cholesky factorization
+  with marginal-likelihood hyperparameter optimization (L-BFGS-B,
+  multi-restart).
+"""
+
+from repro.gp.gp import GaussianProcessRegressor
+from repro.gp.kernels import (
+    RBF,
+    ConstantKernel,
+    Kernel,
+    Matern32,
+    Matern52,
+    Product,
+    Sum,
+    WhiteNoise,
+)
+
+__all__ = [
+    "GaussianProcessRegressor",
+    "Kernel",
+    "RBF",
+    "Matern32",
+    "Matern52",
+    "WhiteNoise",
+    "ConstantKernel",
+    "Sum",
+    "Product",
+]

@@ -1,0 +1,235 @@
+"""Exact Gaussian-process regression via Cholesky factorization.
+
+This is the non-linear regression engine LoadDynamics' BO loop uses to
+model (hyperparameters → cross-validation MAPE) (paper Section III-A).
+
+Implementation follows Rasmussen & Williams Algorithm 2.1:
+
+    L   = chol(K + sigma_n^2 I)
+    a   = L^-T (L^-1 y)
+    mu* = k*^T a
+    v   = L^-1 k*
+    s*  = k(x*,x*) - v^T v
+
+with the log marginal likelihood and its analytic gradient used to fit
+kernel hyperparameters by multi-restart L-BFGS-B.  Targets are
+standardized internally so kernel-variance priors stay workload-agnostic
+(JAR MAPEs span 1%–400% across the paper's 14 configurations).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import cho_solve, cholesky, solve_triangular
+from scipy.optimize import minimize
+
+from repro.gp.kernels import RBF, Kernel
+
+__all__ = ["GaussianProcessRegressor"]
+
+_JITTERS = (0.0, 1e-10, 1e-8, 1e-6, 1e-4, 1e-2)
+
+
+def _chol_with_jitter(K: np.ndarray) -> tuple[np.ndarray, float]:
+    """Lower Cholesky of K, escalating diagonal jitter until it succeeds."""
+    scale = float(np.mean(np.diag(K))) or 1.0
+    for jitter in _JITTERS:
+        try:
+            L = cholesky(K + jitter * scale * np.eye(K.shape[0]), lower=True)
+            return L, jitter * scale
+        except np.linalg.LinAlgError:
+            continue
+    raise np.linalg.LinAlgError("kernel matrix not positive definite even with jitter")
+
+
+class GaussianProcessRegressor:
+    """GP regression with optional marginal-likelihood kernel fitting.
+
+    Parameters
+    ----------
+    kernel:
+        Covariance function; defaults to an isotropic RBF.  The observation
+        noise is a separate explicit ``noise`` term rather than a WhiteNoise
+        kernel summand so the predictive variance reported is that of the
+        *latent* function (what EI wants).
+    noise:
+        Observation noise variance sigma_n^2 (in standardized-target units).
+    optimize:
+        If true, :meth:`fit` tunes kernel hyperparameters (and the noise if
+        ``optimize_noise``) by maximizing the log marginal likelihood.
+    n_restarts:
+        Extra random restarts for the optimizer (first start is the
+        current kernel configuration).
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel | None = None,
+        noise: float = 1e-6,
+        optimize: bool = True,
+        optimize_noise: bool = True,
+        n_restarts: int = 2,
+        seed: int = 0,
+    ):
+        if noise <= 0:
+            raise ValueError("noise must be positive")
+        self.kernel = kernel if kernel is not None else RBF()
+        self.noise = float(noise)
+        self.optimize = bool(optimize)
+        self.optimize_noise = bool(optimize_noise)
+        self.n_restarts = int(n_restarts)
+        self._rng = np.random.default_rng(seed)
+        self._X: np.ndarray | None = None
+        self._y_mean = 0.0
+        self._y_std = 1.0
+        self._L: np.ndarray | None = None
+        self._alpha: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def is_fitted(self) -> bool:
+        return self._L is not None
+
+    def _pack_theta(self) -> np.ndarray:
+        t = self.kernel.theta
+        if self.optimize_noise:
+            t = np.concatenate([t, [np.log(self.noise)]])
+        return t
+
+    def _unpack_theta(self, theta: np.ndarray) -> None:
+        nk = self.kernel.n_theta
+        self.kernel.theta = theta[:nk]
+        if self.optimize_noise:
+            self.noise = float(np.exp(theta[nk]))
+
+    def _theta_bounds(self) -> np.ndarray:
+        b = self.kernel.bounds
+        if self.optimize_noise:
+            b = np.vstack([b, [[np.log(1e-8), np.log(1e1)]]])
+        return b
+
+    # ------------------------------------------------------------------
+    def log_marginal_likelihood(
+        self, theta: np.ndarray | None = None, eval_gradient: bool = False
+    ):
+        """LML of the standardized training targets under the kernel.
+
+        With ``eval_gradient`` also returns d(LML)/d(theta) using the
+        trace identity  dLML/dθ = 0.5 tr((αα^T − K^-1) dK/dθ).
+        """
+        if self._X is None:
+            raise RuntimeError("call fit() first")
+        if theta is not None:
+            self._unpack_theta(np.asarray(theta, dtype=np.float64))
+        X, y = self._X, self._y_standardized
+        n = X.shape[0]
+        K = self.kernel(X) + self.noise * np.eye(n)
+        L, _ = _chol_with_jitter(K)
+        alpha = cho_solve((L, True), y)
+        lml = (
+            -0.5 * float(y @ alpha)
+            - float(np.sum(np.log(np.diag(L))))
+            - 0.5 * n * np.log(2.0 * np.pi)
+        )
+        if not eval_gradient:
+            return lml
+        Kinv = cho_solve((L, True), np.eye(n))
+        W = np.outer(alpha, alpha) - Kinv
+        grads_K = self.kernel.gradients(X)
+        g = 0.5 * np.einsum("ij,tij->t", W, grads_K)
+        if self.optimize_noise:
+            g_noise = 0.5 * np.trace(W) * self.noise  # chain rule through log
+            g = np.concatenate([g, [g_noise]])
+        return lml, g
+
+    # ------------------------------------------------------------------
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GaussianProcessRegressor":
+        """Fit on rows ``X`` with scalar targets ``y``."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D (n_samples, n_features)")
+        if X.shape[0] != y.shape[0]:
+            raise ValueError("X and y length mismatch")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit a GP on zero observations")
+        self._X = X
+        self._y_mean = float(np.mean(y))
+        std = float(np.std(y))
+        self._y_std = std if std > 1e-12 else 1.0
+        self._y_standardized = (y - self._y_mean) / self._y_std
+
+        if self.optimize and X.shape[0] >= 2:
+            self._optimize_hyperparameters()
+
+        K = self.kernel(X) + self.noise * np.eye(X.shape[0])
+        self._L, _ = _chol_with_jitter(K)
+        self._alpha = cho_solve((self._L, True), self._y_standardized)
+        return self
+
+    def _optimize_hyperparameters(self) -> None:
+        bounds = self._theta_bounds()
+
+        def negative_lml(theta):
+            try:
+                lml, g = self.log_marginal_likelihood(theta, eval_gradient=True)
+            except np.linalg.LinAlgError:
+                return 1e25, np.zeros(theta.shape)
+            return -lml, -g
+
+        starts = [self._pack_theta()]
+        for _ in range(max(0, self.n_restarts)):
+            starts.append(
+                self._rng.uniform(bounds[:, 0], bounds[:, 1])
+            )
+        best_val = np.inf
+        best_theta = starts[0]
+        for s in starts:
+            res = minimize(
+                negative_lml,
+                s,
+                jac=True,
+                method="L-BFGS-B",
+                bounds=bounds,
+                options={"maxiter": 200},
+            )
+            if np.isfinite(res.fun) and res.fun < best_val:
+                best_val = res.fun
+                best_theta = res.x
+        self._unpack_theta(best_theta)
+
+    # ------------------------------------------------------------------
+    def predict(
+        self, Xs: np.ndarray, return_std: bool = False
+    ) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
+        """Posterior mean (and latent std) at query rows ``Xs``."""
+        if not self.is_fitted:
+            raise RuntimeError("call fit() first")
+        Xs = np.asarray(Xs, dtype=np.float64)
+        if Xs.ndim == 1:
+            Xs = Xs[None, :]
+        Ks = self.kernel(self._X, Xs)  # (n, m)
+        mean = Ks.T @ self._alpha * self._y_std + self._y_mean
+        if not return_std:
+            return mean
+        v = solve_triangular(self._L, Ks, lower=True)
+        var = self.kernel.diag(Xs) - np.sum(v * v, axis=0)
+        np.maximum(var, 1e-15, out=var)
+        return mean, np.sqrt(var) * self._y_std
+
+    def sample_posterior(
+        self, Xs: np.ndarray, n_samples: int = 1, seed: int | None = None
+    ) -> np.ndarray:
+        """Draw joint posterior function samples at ``Xs`` (for Thompson-style use)."""
+        if not self.is_fitted:
+            raise RuntimeError("call fit() first")
+        Xs = np.asarray(Xs, dtype=np.float64)
+        Ks = self.kernel(self._X, Xs)
+        mean = Ks.T @ self._alpha
+        v = solve_triangular(self._L, Ks, lower=True)
+        cov = self.kernel(Xs) - v.T @ v
+        Lc, _ = _chol_with_jitter(cov + 1e-12 * np.eye(Xs.shape[0]))
+        rng = self._rng if seed is None else np.random.default_rng(seed)
+        z = rng.standard_normal((Xs.shape[0], n_samples))
+        draws = mean[:, None] + Lc @ z
+        return (draws * self._y_std + self._y_mean).T

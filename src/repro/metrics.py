@@ -1,0 +1,127 @@
+"""Error and provisioning metrics used throughout the reproduction.
+
+The paper reports prediction accuracy as MAPE (Section IV-A):
+
+    MAPE = 100/n * sum_i | (P_i - J_i) / J_i |
+
+and the auto-scaling case study (Section IV-C) reports average job
+turnaround time plus VM under- and over-provisioning rates.  All metric
+functions here are pure, vectorized, and guard the degenerate cases that
+real JAR series produce (zero-valued intervals, empty windows).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "mape",
+    "smape",
+    "mae",
+    "rmse",
+    "mse",
+    "absolute_percentage_errors",
+    "underprovision_rate",
+    "overprovision_rate",
+]
+
+
+def _as_pair(predicted, actual) -> tuple[np.ndarray, np.ndarray]:
+    """Validate and broadcast a (predicted, actual) pair to 1-D float arrays."""
+    p = np.asarray(predicted, dtype=np.float64).ravel()
+    a = np.asarray(actual, dtype=np.float64).ravel()
+    if p.shape != a.shape:
+        raise ValueError(
+            f"predicted and actual must have the same length, got {p.shape} vs {a.shape}"
+        )
+    if p.size == 0:
+        raise ValueError("metric undefined for empty arrays")
+    return p, a
+
+
+def absolute_percentage_errors(
+    predicted, actual, *, eps: float = 1e-12
+) -> np.ndarray:
+    """Per-interval absolute percentage errors, in percent.
+
+    Intervals whose actual JAR is (numerically) zero are excluded by the
+    caller-visible contract of :func:`mape`; here they yield ``nan`` so the
+    caller can decide.  ``eps`` guards exact division by zero.
+    """
+    p, a = _as_pair(predicted, actual)
+    out = np.full(p.shape, np.nan)
+    nz = np.abs(a) > eps
+    out[nz] = 100.0 * np.abs((p[nz] - a[nz]) / a[nz])
+    return out
+
+
+def mape(predicted, actual) -> float:
+    """Mean absolute percentage error in percent (paper's accuracy metric).
+
+    Zero-valued actual intervals are skipped (they make the percentage
+    error undefined); if *all* intervals are zero a ``ValueError`` is
+    raised rather than returning a silent 0.
+    """
+    errs = absolute_percentage_errors(predicted, actual)
+    valid = ~np.isnan(errs)
+    if not valid.any():
+        raise ValueError("MAPE undefined: all actual values are zero")
+    return float(np.mean(errs[valid]))
+
+
+def smape(predicted, actual) -> float:
+    """Symmetric MAPE in percent; bounded in [0, 200].
+
+    Not used by the paper's headline numbers but handy as a robust
+    secondary metric for small-JAR configurations.
+    """
+    p, a = _as_pair(predicted, actual)
+    denom = (np.abs(p) + np.abs(a)) / 2.0
+    mask = denom > 1e-12
+    if not mask.any():
+        return 0.0
+    return float(100.0 * np.mean(np.abs(p[mask] - a[mask]) / denom[mask]))
+
+
+def mae(predicted, actual) -> float:
+    """Mean absolute error."""
+    p, a = _as_pair(predicted, actual)
+    return float(np.mean(np.abs(p - a)))
+
+
+def mse(predicted, actual) -> float:
+    """Mean squared error (the LSTM training loss, Section IV-A)."""
+    p, a = _as_pair(predicted, actual)
+    return float(np.mean((p - a) ** 2))
+
+
+def rmse(predicted, actual) -> float:
+    """Root mean squared error."""
+    return float(np.sqrt(mse(predicted, actual)))
+
+
+def underprovision_rate(provisioned, required) -> float:
+    """Average VM under-provisioning rate in percent (Section IV-C).
+
+    Per interval the shortfall ``max(J_i - P_i, 0)`` is expressed as a
+    percentage of the actually required VMs ``J_i``; intervals with no
+    arrivals contribute zero shortfall.
+    """
+    p, r = _as_pair(provisioned, required)
+    shortfall = np.maximum(r - p, 0.0)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        rate = np.where(r > 0, shortfall / r, 0.0)
+    return float(100.0 * np.mean(rate))
+
+
+def overprovision_rate(provisioned, required) -> float:
+    """Average VM over-provisioning rate in percent (Section IV-C).
+
+    Per interval the surplus ``max(P_i - J_i, 0)`` is expressed as a
+    percentage of the required VMs; when nothing was required the surplus
+    is measured against 1 VM to keep the rate finite.
+    """
+    p, r = _as_pair(provisioned, required)
+    surplus = np.maximum(p - r, 0.0)
+    denom = np.maximum(r, 1.0)
+    return float(100.0 * np.mean(surplus / denom))

@@ -1,0 +1,40 @@
+"""From-scratch classical-ML substrate (replaces scikit-learn).
+
+The CloudInsight baseline (paper Table II) needs six ML regressors —
+linear and Gaussian SVMs, decision tree, random forest, gradient
+boosting and extra trees — and the Wood et al. baseline needs robust
+linear regression.  None of these ship offline, so this subpackage
+implements them on numpy:
+
+* :mod:`repro.ml.linear` — OLS, ridge, Huber-IRLS robust regression
+* :mod:`repro.ml.tree` — CART regression trees (vectorized split search)
+* :mod:`repro.ml.ensemble` — random forest, extra trees, gradient boosting
+* :mod:`repro.ml.svr` — smoothed epsilon-insensitive linear & RBF-kernel SVR
+* :mod:`repro.ml.neighbors` — k-nearest-neighbour regression
+
+All estimators follow the familiar ``fit(X, y)`` / ``predict(X)``
+protocol with float64 arrays.
+"""
+
+from repro.ml.ensemble import (
+    ExtraTreesRegressor,
+    GradientBoostingRegressor,
+    RandomForestRegressor,
+)
+from repro.ml.linear import HuberRegressor, LinearRegression, RidgeRegression
+from repro.ml.neighbors import KNNRegressor
+from repro.ml.svr import KernelSVR, LinearSVR
+from repro.ml.tree import DecisionTreeRegressor
+
+__all__ = [
+    "LinearRegression",
+    "RidgeRegression",
+    "HuberRegressor",
+    "DecisionTreeRegressor",
+    "RandomForestRegressor",
+    "ExtraTreesRegressor",
+    "GradientBoostingRegressor",
+    "LinearSVR",
+    "KernelSVR",
+    "KNNRegressor",
+]

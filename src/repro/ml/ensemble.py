@@ -1,0 +1,205 @@
+"""Tree ensembles: random forest, extra trees, gradient boosting.
+
+These fill three slots of CloudInsight's ML predictor category (paper
+Table II).  All three are built on :class:`repro.ml.tree.DecisionTreeRegressor`:
+
+* **RandomForest** — bootstrap rows + per-split feature subsampling,
+  prediction = mean over trees;
+* **ExtraTrees** — no bootstrap, random split thresholds (cheaper, more
+  decorrelated);
+* **GradientBoosting** — least-squares stagewise boosting of shallow
+  trees with shrinkage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.tree import DecisionTreeRegressor
+
+__all__ = ["RandomForestRegressor", "ExtraTreesRegressor", "GradientBoostingRegressor"]
+
+
+def _check_xy(X, y) -> tuple[np.ndarray, np.ndarray]:
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64).ravel()
+    if X.ndim == 1:
+        X = X[:, None]
+    if X.shape[0] != y.shape[0]:
+        raise ValueError("X and y length mismatch")
+    if X.shape[0] == 0:
+        raise ValueError("cannot fit on empty data")
+    return X, y
+
+
+class _Bagging:
+    """Shared fit/predict for averaged tree ensembles."""
+
+    def __init__(
+        self,
+        n_estimators: int,
+        max_depth: int | None,
+        min_samples_leaf: int,
+        max_features: int | float | None,
+        bootstrap: bool,
+        splitter: str,
+        seed: int,
+    ):
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        self.n_estimators = int(n_estimators)
+        self.max_depth = max_depth
+        self.min_samples_leaf = int(min_samples_leaf)
+        self.max_features = max_features
+        self.bootstrap = bool(bootstrap)
+        self.splitter = splitter
+        self.seed = int(seed)
+        self.trees_: list[DecisionTreeRegressor] = []
+
+    def fit(self, X, y):
+        X, y = _check_xy(X, y)
+        rng = np.random.default_rng(self.seed)
+        self.trees_ = []
+        n = X.shape[0]
+        for t in range(self.n_estimators):
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                splitter=self.splitter,
+                seed=int(rng.integers(2**31)),
+            )
+            if self.bootstrap:
+                idx = rng.integers(0, n, size=n)
+                tree.fit(X[idx], y[idx])
+            else:
+                tree.fit(X, y)
+            self.trees_.append(tree)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        if not self.trees_:
+            raise RuntimeError("call fit() first")
+        preds = np.stack([t.predict(X) for t in self.trees_])
+        return preds.mean(axis=0)
+
+
+class RandomForestRegressor(_Bagging):
+    """Breiman-style random forest for regression."""
+
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        max_depth: int | None = None,
+        min_samples_leaf: int = 2,
+        max_features: int | float | None = 1.0 / 3.0,
+        seed: int = 0,
+    ):
+        super().__init__(
+            n_estimators=n_estimators,
+            max_depth=max_depth,
+            min_samples_leaf=min_samples_leaf,
+            max_features=max_features,
+            bootstrap=True,
+            splitter="best",
+            seed=seed,
+        )
+
+
+class ExtraTreesRegressor(_Bagging):
+    """Extremely-randomized trees (random thresholds, full sample)."""
+
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        max_depth: int | None = None,
+        min_samples_leaf: int = 2,
+        max_features: int | float | None = 1.0,
+        seed: int = 0,
+    ):
+        super().__init__(
+            n_estimators=n_estimators,
+            max_depth=max_depth,
+            min_samples_leaf=min_samples_leaf,
+            max_features=max_features,
+            bootstrap=False,
+            splitter="random",
+            seed=seed,
+        )
+
+
+class GradientBoostingRegressor:
+    """Least-squares gradient boosting with shallow CART learners.
+
+    Stagewise: F_0 = mean(y); F_m = F_{m-1} + lr * tree(residuals).
+    ``subsample < 1`` enables stochastic gradient boosting.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 100,
+        learning_rate: float = 0.1,
+        max_depth: int = 3,
+        min_samples_leaf: int = 2,
+        subsample: float = 1.0,
+        seed: int = 0,
+    ):
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        if not 0.0 < learning_rate <= 1.0:
+            raise ValueError("learning_rate must be in (0, 1]")
+        if not 0.0 < subsample <= 1.0:
+            raise ValueError("subsample must be in (0, 1]")
+        self.n_estimators = int(n_estimators)
+        self.learning_rate = float(learning_rate)
+        self.max_depth = int(max_depth)
+        self.min_samples_leaf = int(min_samples_leaf)
+        self.subsample = float(subsample)
+        self.seed = int(seed)
+        self.init_: float = 0.0
+        self.trees_: list[DecisionTreeRegressor] = []
+
+    def fit(self, X, y) -> "GradientBoostingRegressor":
+        X, y = _check_xy(X, y)
+        rng = np.random.default_rng(self.seed)
+        self.init_ = float(np.mean(y))
+        self.trees_ = []
+        current = np.full(y.shape, self.init_)
+        n = X.shape[0]
+        m = max(1, int(round(self.subsample * n)))
+        for _ in range(self.n_estimators):
+            residual = y - current
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                seed=int(rng.integers(2**31)),
+            )
+            if m < n:
+                idx = rng.choice(n, size=m, replace=False)
+                tree.fit(X[idx], residual[idx])
+            else:
+                tree.fit(X, residual)
+            current += self.learning_rate * tree.predict(X)
+            self.trees_.append(tree)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        if not self.trees_:
+            raise RuntimeError("call fit() first")
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X[:, None]
+        out = np.full(X.shape[0], self.init_)
+        for tree in self.trees_:
+            out += self.learning_rate * tree.predict(X)
+        return out
+
+    def staged_predict(self, X):
+        """Yield predictions after each boosting stage (for early-stop studies)."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X[:, None]
+        out = np.full(X.shape[0], self.init_)
+        for tree in self.trees_:
+            out = out + self.learning_rate * tree.predict(X)
+            yield out.copy()

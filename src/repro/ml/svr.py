@@ -1,0 +1,215 @@
+"""Support-vector regression: linear and RBF-kernel variants.
+
+CloudInsight's pool includes "Linear and Gaussian SVMs" for regression
+(paper Table II).  We solve the *primal* with a smoothed
+epsilon-insensitive loss
+
+    L_eps(r) ≈ sqrt((|r| - eps)_+^2 + beta^2) - beta
+
+via L-BFGS-B, which converges quickly at the few-hundred-sample scale of
+walk-forward workload windows and avoids implementing a full SMO QP.
+The kernel variant parameterizes f(x) = sum_i alpha_i k(x_i, x) and
+regularizes ||f||^2_H = alpha^T K alpha (a representer-theorem primal).
+Inputs and targets are standardized internally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import minimize
+
+__all__ = ["LinearSVR", "KernelSVR"]
+
+
+def _check_xy(X, y) -> tuple[np.ndarray, np.ndarray]:
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64).ravel()
+    if X.ndim == 1:
+        X = X[:, None]
+    if X.shape[0] != y.shape[0]:
+        raise ValueError("X and y length mismatch")
+    if X.shape[0] == 0:
+        raise ValueError("cannot fit on empty data")
+    return X, y
+
+
+def _smooth_eps_loss(r: np.ndarray, eps: float, beta: float = 1e-3):
+    """Smoothed epsilon-insensitive loss value and d/dr."""
+    excess = np.maximum(np.abs(r) - eps, 0.0)
+    root = np.sqrt(excess * excess + beta * beta)
+    loss = root - beta
+    # d loss / d r  = excess/root * sign(r) where |r|>eps, else 0
+    grad = np.where(np.abs(r) > eps, excess / root * np.sign(r), 0.0)
+    return loss, grad
+
+
+class _Standardizer:
+    """Column-wise standardization shared by both SVR variants."""
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        self.x_mean = X.mean(axis=0)
+        self.x_std = np.where(X.std(axis=0) > 1e-12, X.std(axis=0), 1.0)
+        self.y_mean = float(y.mean())
+        self.y_std = float(y.std()) or 1.0
+
+    def x(self, X: np.ndarray) -> np.ndarray:
+        return (X - self.x_mean) / self.x_std
+
+    def y(self, y: np.ndarray) -> np.ndarray:
+        return (y - self.y_mean) / self.y_std
+
+    def y_inv(self, y: np.ndarray) -> np.ndarray:
+        return y * self.y_std + self.y_mean
+
+
+class LinearSVR:
+    """Primal linear epsilon-SVR: min C * sum L_eps + 0.5 ||w||^2."""
+
+    def __init__(self, C: float = 1.0, epsilon: float = 0.1, max_iter: int = 200):
+        if C <= 0:
+            raise ValueError("C must be positive")
+        if epsilon < 0:
+            raise ValueError("epsilon must be non-negative")
+        self.C = float(C)
+        self.epsilon = float(epsilon)
+        self.max_iter = int(max_iter)
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+
+    def fit(self, X, y) -> "LinearSVR":
+        X, y = _check_xy(X, y)
+        self._std = _Standardizer()
+        self._std.fit(X, y)
+        Xs, ys = self._std.x(X), self._std.y(y)
+        n, d = Xs.shape
+
+        def objective(wb):
+            w, b = wb[:d], wb[d]
+            r = Xs @ w + b - ys
+            loss, dr = _smooth_eps_loss(r, self.epsilon)
+            value = self.C * float(np.sum(loss)) + 0.5 * float(w @ w)
+            gw = self.C * (Xs.T @ dr) + w
+            gb = self.C * float(np.sum(dr))
+            return value, np.concatenate([gw, [gb]])
+
+        res = minimize(
+            objective,
+            np.zeros(d + 1),
+            jac=True,
+            method="L-BFGS-B",
+            options={"maxiter": self.max_iter},
+        )
+        self.coef_ = res.x[:d]
+        self.intercept_ = float(res.x[d])
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        if self.coef_ is None:
+            raise RuntimeError("call fit() first")
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X[:, None]
+        Xs = self._std.x(X)
+        return self._std.y_inv(Xs @ self.coef_ + self.intercept_)
+
+
+class KernelSVR:
+    """RBF-kernel epsilon-SVR in the representer primal.
+
+    min_alpha  C * sum L_eps(K alpha + b - y) + 0.5 alpha^T K alpha
+
+    ``gamma=None`` uses the median-distance heuristic.  Training cost is
+    O(n^2) memory for K; ``max_samples`` subsamples longer histories
+    (uniform tail-biased) to keep walk-forward evaluation tractable.
+    """
+
+    def __init__(
+        self,
+        C: float = 1.0,
+        epsilon: float = 0.1,
+        gamma: float | None = None,
+        max_iter: int = 200,
+        max_samples: int = 400,
+        seed: int = 0,
+    ):
+        if C <= 0:
+            raise ValueError("C must be positive")
+        if epsilon < 0:
+            raise ValueError("epsilon must be non-negative")
+        self.C = float(C)
+        self.epsilon = float(epsilon)
+        self.gamma = gamma
+        self.max_iter = int(max_iter)
+        self.max_samples = int(max_samples)
+        self.seed = int(seed)
+        self.alpha_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+
+    def _kernel(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        aa = np.sum(A * A, axis=1)[:, None]
+        bb = np.sum(B * B, axis=1)[None, :]
+        d2 = np.maximum(aa + bb - 2.0 * (A @ B.T), 0.0)
+        return np.exp(-self._gamma_val * d2)
+
+    def fit(self, X, y) -> "KernelSVR":
+        X, y = _check_xy(X, y)
+        if X.shape[0] > self.max_samples:
+            # Keep the most recent samples — workload patterns drift, so
+            # the tail matters most for one-step-ahead forecasting.
+            X, y = X[-self.max_samples :], y[-self.max_samples :]
+        self._std = _Standardizer()
+        self._std.fit(X, y)
+        Xs, ys = self._std.x(X), self._std.y(y)
+        n = Xs.shape[0]
+
+        if self.gamma is None:
+            # Median pairwise squared distance heuristic.
+            rng = np.random.default_rng(self.seed)
+            m = min(n, 200)
+            idx = rng.choice(n, size=m, replace=False)
+            A = Xs[idx]
+            d2 = (
+                np.sum(A * A, axis=1)[:, None]
+                + np.sum(A * A, axis=1)[None, :]
+                - 2.0 * (A @ A.T)
+            )
+            med = float(np.median(d2[d2 > 1e-12])) if np.any(d2 > 1e-12) else 1.0
+            self._gamma_val = 1.0 / max(med, 1e-12)
+        else:
+            self._gamma_val = float(self.gamma)
+
+        K = self._kernel(Xs, Xs)
+        K_reg = K + 1e-8 * np.eye(n)
+
+        def objective(ab):
+            alpha, b = ab[:n], ab[n]
+            f = K @ alpha + b
+            r = f - ys
+            loss, dr = _smooth_eps_loss(r, self.epsilon)
+            Ka = K_reg @ alpha
+            value = self.C * float(np.sum(loss)) + 0.5 * float(alpha @ Ka)
+            ga = self.C * (K @ dr) + Ka
+            gb = self.C * float(np.sum(dr))
+            return value, np.concatenate([ga, [gb]])
+
+        res = minimize(
+            objective,
+            np.zeros(n + 1),
+            jac=True,
+            method="L-BFGS-B",
+            options={"maxiter": self.max_iter},
+        )
+        self.alpha_ = res.x[:n]
+        self.intercept_ = float(res.x[n])
+        self._X_train = Xs
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        if self.alpha_ is None:
+            raise RuntimeError("call fit() first")
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X[:, None]
+        Xs = self._std.x(X)
+        f = self._kernel(Xs, self._X_train) @ self.alpha_ + self.intercept_
+        return self._std.y_inv(f)

@@ -1,0 +1,233 @@
+"""CART regression trees with vectorized split search.
+
+Split selection minimizes the weighted child variance (equivalently,
+maximizes variance reduction).  For each feature the candidate splits are
+evaluated *simultaneously* with prefix sums over the sorted column —
+O(n log n) per feature instead of O(n^2) — which is the difference
+between usable and unusable pure-Python trees (the HPC guide's
+"vectorize the bottleneck" rule applied to the only hot loop here).
+
+Trees are stored in flat arrays (feature, threshold, children, value)
+so prediction is an iterative array walk, not recursion over objects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["DecisionTreeRegressor"]
+
+_LEAF = -1
+
+
+class DecisionTreeRegressor:
+    """Regression tree grown greedily with variance-reduction splits.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth (``None`` = unlimited).
+    min_samples_split:
+        Minimum samples a node needs to be considered for splitting.
+    min_samples_leaf:
+        Minimum samples each child must retain.
+    max_features:
+        Features examined per split: ``None`` (all), an int, or a float
+        fraction — the random-forest decorrelation knob.
+    splitter:
+        ``"best"`` (exact best threshold) or ``"random"`` (one uniform
+        threshold per feature — extra-trees style).
+    seed:
+        RNG seed for feature subsampling / random thresholds.
+    """
+
+    def __init__(
+        self,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | float | None = None,
+        splitter: str = "best",
+        seed: int = 0,
+    ):
+        if max_depth is not None and max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if min_samples_split < 2:
+            raise ValueError("min_samples_split must be >= 2")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        if splitter not in ("best", "random"):
+            raise ValueError("splitter must be 'best' or 'random'")
+        self.max_depth = max_depth
+        self.min_samples_split = int(min_samples_split)
+        self.min_samples_leaf = int(min_samples_leaf)
+        self.max_features = max_features
+        self.splitter = splitter
+        self.seed = int(seed)
+        # Flat tree arrays, filled by fit().
+        self._feature: list[int] = []
+        self._threshold: list[float] = []
+        self._left: list[int] = []
+        self._right: list[int] = []
+        self._value: list[float] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        return len(self._feature)
+
+    @property
+    def depth_(self) -> int:
+        """Realized depth of the fitted tree."""
+        if not self._feature:
+            raise RuntimeError("call fit() first")
+        depths = {0: 0}
+        best = 0
+        for node in range(self.n_nodes):
+            d = depths[node]
+            best = max(best, d)
+            if self._feature[node] != _LEAF:
+                depths[self._left[node]] = d + 1
+                depths[self._right[node]] = d + 1
+        return best
+
+    def _n_features_to_try(self, d: int) -> int:
+        mf = self.max_features
+        if mf is None:
+            return d
+        if isinstance(mf, float):
+            return max(1, min(d, int(round(mf * d))))
+        return max(1, min(d, int(mf)))
+
+    # ------------------------------------------------------------------
+    def fit(self, X, y) -> "DecisionTreeRegressor":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if X.ndim == 1:
+            X = X[:, None]
+        if X.shape[0] != y.shape[0]:
+            raise ValueError("X and y length mismatch")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit on empty data")
+        self._feature, self._threshold = [], []
+        self._left, self._right, self._value = [], [], []
+        rng = np.random.default_rng(self.seed)
+        # Iterative node expansion with an explicit stack (no recursion
+        # limit concerns for deep trees on long traces).
+        root_idx = self._new_node(y)
+        stack = [(root_idx, np.arange(X.shape[0]), 0)]
+        while stack:
+            node, idx, depth = stack.pop()
+            if not self._should_split(idx, y, depth):
+                continue
+            split = self._find_split(X, y, idx, rng)
+            if split is None:
+                continue
+            feat, thr, mask = split
+            left_idx, right_idx = idx[mask], idx[~mask]
+            self._feature[node] = feat
+            self._threshold[node] = thr
+            li = self._new_node(y[left_idx])
+            ri = self._new_node(y[right_idx])
+            self._left[node] = li
+            self._right[node] = ri
+            stack.append((li, left_idx, depth + 1))
+            stack.append((ri, right_idx, depth + 1))
+        return self
+
+    def _new_node(self, y_node: np.ndarray) -> int:
+        self._feature.append(_LEAF)
+        self._threshold.append(0.0)
+        self._left.append(_LEAF)
+        self._right.append(_LEAF)
+        self._value.append(float(np.mean(y_node)))
+        return len(self._feature) - 1
+
+    def _should_split(self, idx: np.ndarray, y: np.ndarray, depth: int) -> bool:
+        if idx.size < self.min_samples_split or idx.size < 2 * self.min_samples_leaf:
+            return False
+        if self.max_depth is not None and depth >= self.max_depth:
+            return False
+        yn = y[idx]
+        return float(np.var(yn)) > 1e-18
+
+    def _find_split(
+        self, X: np.ndarray, y: np.ndarray, idx: np.ndarray, rng: np.random.Generator
+    ):
+        """Best (feature, threshold, left-mask) by variance reduction, or None."""
+        d = X.shape[1]
+        k = self._n_features_to_try(d)
+        feats = rng.choice(d, size=k, replace=False) if k < d else np.arange(d)
+        yn = y[idx]
+        n = idx.size
+        best_score = np.inf  # weighted child SSE; lower is better
+        best: tuple[int, float, np.ndarray] | None = None
+        msl = self.min_samples_leaf
+
+        for f in feats:
+            col = X[idx, f]
+            if self.splitter == "random":
+                lo, hi = float(col.min()), float(col.max())
+                if hi <= lo:
+                    continue
+                thr = float(rng.uniform(lo, hi))
+                mask = col <= thr
+                nl = int(mask.sum())
+                if nl < msl or n - nl < msl:
+                    continue
+                yl, yr = yn[mask], yn[~mask]
+                score = yl.size * float(np.var(yl)) + yr.size * float(np.var(yr))
+                if score < best_score:
+                    best_score = score
+                    best = (int(f), thr, mask)
+                continue
+
+            order = np.argsort(col, kind="stable")
+            cs, ys = col[order], yn[order]
+            # Candidate boundaries: between distinct consecutive values,
+            # respecting min_samples_leaf on both sides.
+            csum = np.cumsum(ys)
+            csum2 = np.cumsum(ys * ys)
+            total, total2 = csum[-1], csum2[-1]
+            sizes_l = np.arange(1, n)  # split after position i → left size i
+            valid = (cs[1:] > cs[:-1]) & (sizes_l >= msl) & (n - sizes_l >= msl)
+            if not valid.any():
+                continue
+            sl = csum[:-1]
+            sl2 = csum2[:-1]
+            nl = sizes_l.astype(np.float64)
+            nr = n - nl
+            # SSE = sum(y^2) - (sum y)^2 / n, per side, vectorized over splits.
+            sse_l = sl2 - sl * sl / nl
+            sse_r = (total2 - sl2) - (total - sl) ** 2 / nr
+            score_all = np.where(valid, sse_l + sse_r, np.inf)
+            j = int(np.argmin(score_all))
+            if score_all[j] < best_score:
+                thr = 0.5 * (cs[j] + cs[j + 1])
+                best_score = float(score_all[j])
+                best = (int(f), float(thr), col <= thr)
+        return best
+
+    # ------------------------------------------------------------------
+    def predict(self, X) -> np.ndarray:
+        if not self._feature:
+            raise RuntimeError("call fit() first")
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X[:, None]
+        feature = np.asarray(self._feature)
+        threshold = np.asarray(self._threshold)
+        left = np.asarray(self._left)
+        right = np.asarray(self._right)
+        value = np.asarray(self._value)
+        # Level-synchronous batch descent: all rows walk the tree together.
+        node = np.zeros(X.shape[0], dtype=np.intp)
+        active = feature[node] != _LEAF
+        while active.any():
+            idx = np.nonzero(active)[0]
+            f = feature[node[idx]]
+            thr = threshold[node[idx]]
+            go_left = X[idx, f] <= thr
+            node[idx] = np.where(go_left, left[node[idx]], right[node[idx]])
+            active[idx] = feature[node[idx]] != _LEAF
+        return value[node]

@@ -1,0 +1,46 @@
+"""From-scratch neural-network substrate (replaces TensorFlow).
+
+The paper trains stacked LSTM networks with a fully-connected output head
+using mean-squared-error loss and the Adam optimizer (Section IV-A).  This
+subpackage implements exactly that stack in vectorized numpy:
+
+* :mod:`repro.nn.activations` — numerically-stable gate nonlinearities
+* :mod:`repro.nn.initializers` — Glorot / orthogonal / forget-bias init
+* :mod:`repro.nn.lstm` — multi-layer LSTM with full BPTT (Fig. 3/4)
+* :mod:`repro.nn.dense` — the fully-connected layer ``T``
+* :mod:`repro.nn.losses` — MSE / MAE / Huber with analytic gradients
+* :mod:`repro.nn.optimizers` — Adam (paper default), SGD, RMSProp
+* :mod:`repro.nn.network` — :class:`LSTMRegressor`, the trainable model ``A``
+* :mod:`repro.nn.serialization` — save/load trained predictors
+"""
+
+from repro.nn.activations import sigmoid, tanh, dsigmoid_from_y, dtanh_from_y
+from repro.nn.dense import DenseLayer
+from repro.nn.initializers import glorot_uniform, orthogonal
+from repro.nn.losses import huber_loss, mae_loss, mse_loss
+from repro.nn.lstm import LSTMLayer
+from repro.nn.network import LSTMRegressor, TrainingHistory
+from repro.nn.optimizers import SGD, Adam, RMSProp, make_optimizer
+from repro.nn.serialization import load_regressor, save_regressor
+
+__all__ = [
+    "sigmoid",
+    "tanh",
+    "dsigmoid_from_y",
+    "dtanh_from_y",
+    "glorot_uniform",
+    "orthogonal",
+    "mse_loss",
+    "mae_loss",
+    "huber_loss",
+    "LSTMLayer",
+    "DenseLayer",
+    "LSTMRegressor",
+    "TrainingHistory",
+    "Adam",
+    "SGD",
+    "RMSProp",
+    "make_optimizer",
+    "save_regressor",
+    "load_regressor",
+]

@@ -1,0 +1,65 @@
+"""Fully-connected layer — the output head ``T`` of paper Fig. 3.
+
+Maps the last hidden state ``h_{i-1}`` of the top LSTM layer to the
+scalar prediction ``P_i``.  Linear by default (regression head); an
+optional ReLU makes it usable as a generic hidden layer in extensions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.activations import drelu_from_x, relu
+from repro.nn.initializers import glorot_uniform
+
+__all__ = ["DenseLayer"]
+
+
+class DenseLayer:
+    """``y = act(x @ W + b)`` over (B, D) inputs."""
+
+    def __init__(
+        self,
+        input_size: int,
+        output_size: int,
+        rng: np.random.Generator,
+        activation: str = "linear",
+    ):
+        if input_size <= 0 or output_size <= 0:
+            raise ValueError("input_size and output_size must be positive")
+        if activation not in ("linear", "relu"):
+            raise ValueError(f"unsupported activation {activation!r}")
+        self.input_size = int(input_size)
+        self.output_size = int(output_size)
+        self.activation = activation
+        self.W = glorot_uniform(rng, input_size, output_size, (input_size, output_size))
+        self.b = np.zeros(output_size)
+        self._cache: tuple[np.ndarray, np.ndarray] | None = None
+
+    @property
+    def params(self) -> list[np.ndarray]:
+        return [self.W, self.b]
+
+    def n_params(self) -> int:
+        return self.W.size + self.b.size
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Forward a (B, D) batch; caches intermediates for backward."""
+        if x.ndim != 2 or x.shape[1] != self.input_size:
+            raise ValueError(
+                f"expected (batch, {self.input_size}) input, got {x.shape}"
+            )
+        z = x @ self.W + self.b
+        self._cache = (x, z)
+        return relu(z) if self.activation == "relu" else z
+
+    def backward(self, d_out: np.ndarray) -> tuple[np.ndarray, list[np.ndarray]]:
+        """Backprop d(loss)/d(output); returns (dx, [dW, db])."""
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x, z = self._cache
+        dz = d_out * drelu_from_x(z) if self.activation == "relu" else d_out
+        dW = x.T @ dz
+        db = dz.sum(axis=0)
+        dx = dz @ self.W.T
+        return dx, [dW, db]

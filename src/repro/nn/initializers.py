@@ -1,0 +1,54 @@
+"""Weight initializers for the LSTM/dense stack.
+
+Matches the defaults Keras would have applied to the paper's model:
+Glorot-uniform input kernels, orthogonal recurrent kernels, zero biases
+with the forget-gate bias set to 1 (the standard Jozefowicz et al. trick
+that stabilizes early training of long-memory cells).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["glorot_uniform", "orthogonal", "lstm_bias"]
+
+
+def glorot_uniform(
+    rng: np.random.Generator, fan_in: int, fan_out: int, shape: tuple[int, ...]
+) -> np.ndarray:
+    """Glorot/Xavier uniform init: U(-a, a), a = sqrt(6 / (fan_in+fan_out))."""
+    if fan_in <= 0 or fan_out <= 0:
+        raise ValueError("fan_in and fan_out must be positive")
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def orthogonal(rng: np.random.Generator, rows: int, cols: int) -> np.ndarray:
+    """Orthogonal init via QR of a Gaussian matrix.
+
+    For non-square shapes the result has orthonormal rows (rows < cols)
+    or columns (rows > cols); either keeps recurrent spectra near 1 which
+    mitigates exploding/vanishing gradients in BPTT (paper Section III-A
+    cites exactly this failure mode for badly-chosen history lengths).
+    """
+    if rows <= 0 or cols <= 0:
+        raise ValueError("rows and cols must be positive")
+    n = max(rows, cols)
+    a = rng.standard_normal((n, n))
+    q, r = np.linalg.qr(a)
+    # Sign-fix so the distribution is uniform over the orthogonal group.
+    q *= np.sign(np.diag(r))
+    return np.ascontiguousarray(q[:rows, :cols])
+
+
+def lstm_bias(hidden_size: int, forget_bias: float = 1.0) -> np.ndarray:
+    """Zero bias with the forget-gate slice set to ``forget_bias``.
+
+    Gate layout is ``[i, f, o, g]`` to match the order the paper lists the
+    gate equations in (Fig. 4).
+    """
+    if hidden_size <= 0:
+        raise ValueError("hidden_size must be positive")
+    b = np.zeros(4 * hidden_size)
+    b[hidden_size : 2 * hidden_size] = forget_bias
+    return b

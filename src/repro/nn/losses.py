@@ -1,0 +1,62 @@
+"""Training losses with analytic gradients.
+
+The paper trains with mean squared error (Section IV-A).  MAE and Huber
+are provided for the "other loss functions" discussion in Section V — the
+framework can optimize over them as an extension hyperparameter.
+
+Each loss returns ``(value, grad)`` where ``grad`` is d(loss)/d(pred)
+with the same shape as ``pred``; the 1/N averaging is folded into the
+gradient so layers can backpropagate it unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["mse_loss", "mae_loss", "huber_loss", "LOSSES"]
+
+
+def _check(pred: np.ndarray, target: np.ndarray) -> None:
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch: pred {pred.shape} vs target {target.shape}")
+    if pred.size == 0:
+        raise ValueError("loss undefined for empty arrays")
+
+
+def mse_loss(pred: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean squared error and its gradient."""
+    _check(pred, target)
+    diff = pred - target
+    value = float(np.mean(diff * diff))
+    grad = (2.0 / diff.size) * diff
+    return value, grad
+
+
+def mae_loss(pred: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean absolute error and its (sub)gradient."""
+    _check(pred, target)
+    diff = pred - target
+    value = float(np.mean(np.abs(diff)))
+    grad = np.sign(diff) / diff.size
+    return value, grad
+
+
+def huber_loss(
+    pred: np.ndarray, target: np.ndarray, delta: float = 1.0
+) -> tuple[float, np.ndarray]:
+    """Huber loss: quadratic within ``delta`` of the target, linear outside."""
+    if delta <= 0:
+        raise ValueError("delta must be positive")
+    _check(pred, target)
+    diff = pred - target
+    absd = np.abs(diff)
+    quad = absd <= delta
+    value = float(
+        np.mean(np.where(quad, 0.5 * diff * diff, delta * (absd - 0.5 * delta)))
+    )
+    grad = np.where(quad, diff, delta * np.sign(diff)) / diff.size
+    return value, grad
+
+
+#: Registry keyed by the names accepted in model configs.
+LOSSES = {"mse": mse_loss, "mae": mae_loss, "huber": huber_loss}

@@ -1,0 +1,148 @@
+"""First-order optimizers operating on flat lists of parameter arrays.
+
+The paper uses Adam (Kingma & Ba, 2015) for all LSTM training
+(Section IV-A).  SGD-with-momentum and RMSProp are included for the
+Section V discussion of alternative training algorithms and for the
+optimizer ablation bench.
+
+All optimizers update parameters **in place** (the HPC guides' in-place
+idiom: ``a *= 0`` beats ``a = 0*a``) and keep per-parameter state keyed by
+position, so the parameter list must stay stable across steps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Optimizer", "SGD", "Adam", "RMSProp", "make_optimizer", "clip_gradients"]
+
+
+def clip_gradients(grads: list[np.ndarray], max_norm: float) -> float:
+    """Scale ``grads`` in place so their global L2 norm is <= ``max_norm``.
+
+    Returns the pre-clip norm.  Gradient clipping is the standard guard
+    against the exploding-gradient failure the paper calls out for long
+    histories (Section III-A).
+    """
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    sq = 0.0
+    for g in grads:
+        sq += float(np.sum(g * g))
+    norm = float(np.sqrt(sq))
+    if norm > max_norm and norm > 0.0:
+        scale = max_norm / norm
+        for g in grads:
+            g *= scale
+    return norm
+
+
+class Optimizer:
+    """Base class: subclasses implement :meth:`step`."""
+
+    def __init__(self, lr: float):
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = float(lr)
+
+    def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Drop accumulated state (used when re-training from scratch)."""
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with classical momentum."""
+
+    def __init__(self, lr: float = 1e-2, momentum: float = 0.0):
+        super().__init__(lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = float(momentum)
+        self._velocity: list[np.ndarray] | None = None
+
+    def reset(self) -> None:
+        self._velocity = None
+
+    def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        if self._velocity is None:
+            self._velocity = [np.zeros_like(p) for p in params]
+        for p, g, v in zip(params, grads, self._velocity, strict=True):
+            v *= self.momentum
+            v -= self.lr * g
+            p += v
+
+
+class RMSProp(Optimizer):
+    """RMSProp with exponentially-decaying squared-gradient average."""
+
+    def __init__(self, lr: float = 1e-3, rho: float = 0.9, eps: float = 1e-8):
+        super().__init__(lr)
+        if not 0.0 < rho < 1.0:
+            raise ValueError("rho must be in (0, 1)")
+        self.rho = float(rho)
+        self.eps = float(eps)
+        self._sq: list[np.ndarray] | None = None
+
+    def reset(self) -> None:
+        self._sq = None
+
+    def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        if self._sq is None:
+            self._sq = [np.zeros_like(p) for p in params]
+        for p, g, s in zip(params, grads, self._sq, strict=True):
+            s *= self.rho
+            s += (1.0 - self.rho) * g * g
+            p -= self.lr * g / (np.sqrt(s) + self.eps)
+
+
+class Adam(Optimizer):
+    """Adam with bias-corrected first/second moments (the paper's optimizer)."""
+
+    def __init__(
+        self,
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ):
+        super().__init__(lr)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError("betas must be in [0, 1)")
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.eps = float(eps)
+        self._m: list[np.ndarray] | None = None
+        self._v: list[np.ndarray] | None = None
+        self._t = 0
+
+    def reset(self) -> None:
+        self._m = None
+        self._v = None
+        self._t = 0
+
+    def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        if self._m is None:
+            self._m = [np.zeros_like(p) for p in params]
+            self._v = [np.zeros_like(p) for p in params]
+        self._t += 1
+        c1 = 1.0 - self.beta1**self._t
+        c2 = 1.0 - self.beta2**self._t
+        for p, g, m, v in zip(params, grads, self._m, self._v, strict=True):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * g * g
+            p -= self.lr * (m / c1) / (np.sqrt(v / c2) + self.eps)
+
+
+_REGISTRY = {"sgd": SGD, "adam": Adam, "rmsprop": RMSProp}
+
+
+def make_optimizer(name: str, lr: float, **kwargs) -> Optimizer:
+    """Instantiate an optimizer by registry name (``adam``/``sgd``/``rmsprop``)."""
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise ValueError(f"unknown optimizer {name!r}; choose from {sorted(_REGISTRY)}")
+    return _REGISTRY[key](lr=lr, **kwargs)

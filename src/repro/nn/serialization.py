@@ -1,0 +1,62 @@
+"""Save/load trained :class:`~repro.nn.network.LSTMRegressor` models.
+
+A deployed LoadDynamics predictor is just the best model found by the BO
+loop; persisting it lets the auto-scaler process load it without
+re-running the (hours-long, per the paper) optimization.  Format: a
+single ``.npz`` holding the architecture config plus every weight array
+in :attr:`LSTMRegressor.params` order.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.network import LSTMRegressor
+
+__all__ = ["save_regressor", "load_regressor"]
+
+_FORMAT_VERSION = 1
+
+
+def save_regressor(model: LSTMRegressor, path: str | Path) -> Path:
+    """Write ``model`` to ``path`` (``.npz`` appended if missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    meta = {"version": _FORMAT_VERSION, "config": model.config()}
+    arrays = {f"param_{i}": p for i, p in enumerate(model.params)}
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8), **arrays)
+    return path
+
+
+def load_regressor(path: str | Path) -> LSTMRegressor:
+    """Reconstruct a model previously written by :func:`save_regressor`."""
+    path = Path(path)
+    with np.load(path) as data:
+        meta = json.loads(bytes(data["meta"]).decode())
+        if meta.get("version") != _FORMAT_VERSION:
+            raise ValueError(f"unsupported model format version {meta.get('version')}")
+        cfg = meta["config"]
+        model = LSTMRegressor(
+            hidden_size=cfg["hidden_size"],
+            num_layers=cfg["num_layers"],
+            input_size=cfg["input_size"],
+            seed=cfg["seed"],
+            cell=cfg.get("cell", "lstm"),  # pre-GRU files default to LSTM
+        )
+        params = model.params
+        for i, p in enumerate(params):
+            key = f"param_{i}"
+            if key not in data:
+                raise ValueError(f"model file missing array {key}")
+            saved = data[key]
+            if saved.shape != p.shape:
+                raise ValueError(
+                    f"shape mismatch for {key}: file {saved.shape} vs model {p.shape}"
+                )
+            p[...] = saved
+    return model

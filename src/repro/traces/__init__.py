@@ -1,0 +1,51 @@
+"""Workload-trace substrate (replaces the paper's public traces).
+
+The paper evaluates on five public traces (Wikipedia, LCG, Azure,
+Google, Facebook — Table I) which cannot be shipped offline.
+:mod:`repro.traces.synthetic` generates seeded synthetic series that
+reproduce each trace's *published characteristics* (Fig. 1, Fig. 8,
+Section IV-A); :mod:`repro.traces.loader` aggregates them into the
+paper's interval lengths and exposes the 14 workload configurations.
+
+See DESIGN.md §4 for the substitution rationale per trace.
+"""
+
+from repro.traces.loader import (
+    WorkloadConfig,
+    WorkloadTrace,
+    aggregate,
+    train_val_test_split,
+)
+from repro.traces.registry import (
+    ALL_CONFIGURATIONS,
+    TRACE_NAMES,
+    get_configuration,
+    get_trace,
+    list_configurations,
+)
+from repro.traces.stats import characterize
+from repro.traces.synthetic import (
+    azure_trace,
+    facebook_trace,
+    google_trace,
+    lcg_trace,
+    wikipedia_trace,
+)
+
+__all__ = [
+    "WorkloadTrace",
+    "WorkloadConfig",
+    "aggregate",
+    "train_val_test_split",
+    "wikipedia_trace",
+    "google_trace",
+    "facebook_trace",
+    "azure_trace",
+    "lcg_trace",
+    "TRACE_NAMES",
+    "ALL_CONFIGURATIONS",
+    "get_trace",
+    "get_configuration",
+    "list_configurations",
+    "characterize",
+]

@@ -1,0 +1,113 @@
+"""Trace containers, interval aggregation, and the 60/20/20 split.
+
+The paper partitions a job/request stream into fixed intervals and
+counts arrivals per interval (Section II-A); generators in
+:mod:`repro.traces.synthetic` emit 1-minute base counts which
+:func:`aggregate` folds into the evaluation interval lengths (5, 10, 30,
+60 minutes — Table I).  :func:`train_val_test_split` implements the
+Fig. 7 partitioning: first 60% training, next 20% cross-validation,
+last 20% test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["WorkloadTrace", "WorkloadConfig", "aggregate", "train_val_test_split"]
+
+
+@dataclass(frozen=True)
+class WorkloadTrace:
+    """A JAR stream at 1-minute base resolution.
+
+    Attributes
+    ----------
+    name:
+        Trace identifier (``wiki``/``lcg``/``az``/``gl``/``fb``).
+    counts:
+        Non-negative arrivals per base minute.
+    category:
+        The paper's application category (Web, HPC, Public Cloud, Data
+        Center) — used only for reporting.
+    """
+
+    name: str
+    counts: np.ndarray
+    category: str
+
+    def __post_init__(self):
+        c = np.asarray(self.counts, dtype=np.float64)
+        if c.ndim != 1 or c.size == 0:
+            raise ValueError("counts must be a non-empty 1-D array")
+        if np.any(c < 0):
+            raise ValueError("counts must be non-negative")
+        object.__setattr__(self, "counts", c)
+
+    @property
+    def minutes(self) -> int:
+        return int(self.counts.size)
+
+    def at_interval(self, interval_minutes: int) -> np.ndarray:
+        """JARs of this trace at the given interval length."""
+        return aggregate(self.counts, interval_minutes)
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """One of the paper's 14 (trace, interval) workload configurations."""
+
+    trace_name: str
+    interval_minutes: int
+
+    @property
+    def key(self) -> str:
+        return f"{self.trace_name}-{self.interval_minutes}m"
+
+    def load(self, **trace_kwargs) -> np.ndarray:
+        """Materialize the JAR series for this configuration."""
+        from repro.traces.registry import get_trace
+
+        trace = get_trace(self.trace_name, **trace_kwargs)
+        return trace.at_interval(self.interval_minutes)
+
+
+def aggregate(base_counts: np.ndarray, interval_minutes: int) -> np.ndarray:
+    """Sum 1-minute counts into ``interval_minutes`` buckets.
+
+    A trailing partial bucket is dropped — the paper's interval counts
+    are complete intervals only.
+    """
+    c = np.asarray(base_counts, dtype=np.float64).ravel()
+    if interval_minutes < 1:
+        raise ValueError("interval_minutes must be >= 1")
+    n_full = c.size // interval_minutes
+    if n_full == 0:
+        raise ValueError(
+            f"trace of {c.size} minutes too short for {interval_minutes}-minute intervals"
+        )
+    return c[: n_full * interval_minutes].reshape(n_full, interval_minutes).sum(axis=1)
+
+
+def train_val_test_split(
+    series: np.ndarray,
+    train_frac: float = 0.6,
+    val_frac: float = 0.2,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Chronological 60/20/20 split (paper Fig. 7 / Section IV-A).
+
+    Returns (train, cross-validation, test) views — no copying, no
+    shuffling: temporal order is the whole point of the split.
+    """
+    s = np.asarray(series, dtype=np.float64).ravel()
+    if not 0.0 < train_frac < 1.0 or not 0.0 < val_frac < 1.0:
+        raise ValueError("fractions must be in (0, 1)")
+    if train_frac + val_frac >= 1.0:
+        raise ValueError("train_frac + val_frac must leave room for a test split")
+    n = s.size
+    i1 = int(round(train_frac * n))
+    i2 = int(round((train_frac + val_frac) * n))
+    if i1 < 1 or i2 <= i1 or i2 >= n:
+        raise ValueError(f"series of length {n} too short for a 60/20/20 split")
+    return s[:i1], s[i1:i2], s[i2:]

@@ -1,0 +1,96 @@
+"""Registry of the paper's 14 workload configurations (Table I).
+
+==========  =============  ==================
+Trace       Category       Intervals (mins)
+==========  =============  ==================
+Wikipedia   Web            5, 10, 30
+LCG         HPC            5, 10, 30
+Azure       Public Cloud   10, 30, 60
+Google      Data Center    5, 10, 30
+Facebook    Data Center    5, 10
+==========  =============  ==================
+
+Traces are cached per (name, days, seed) so the 14 configurations share
+the three-per-trace aggregations instead of regenerating minutes.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.traces.loader import WorkloadConfig, WorkloadTrace
+from repro.traces.synthetic import (
+    azure_trace,
+    facebook_trace,
+    google_trace,
+    lcg_trace,
+    wikipedia_trace,
+)
+
+__all__ = [
+    "TRACE_NAMES",
+    "ALL_CONFIGURATIONS",
+    "get_trace",
+    "get_configuration",
+    "list_configurations",
+]
+
+_GENERATORS = {
+    "wiki": wikipedia_trace,
+    "lcg": lcg_trace,
+    "az": azure_trace,
+    "gl": google_trace,
+    "fb": facebook_trace,
+}
+
+#: Canonical trace short names, in the paper's Table I order.
+TRACE_NAMES = ("wiki", "lcg", "az", "gl", "fb")
+
+#: The 14 (trace, interval) configurations of Table I.
+ALL_CONFIGURATIONS: tuple[WorkloadConfig, ...] = tuple(
+    WorkloadConfig(trace, interval)
+    for trace, intervals in (
+        ("wiki", (5, 10, 30)),
+        ("lcg", (5, 10, 30)),
+        ("az", (10, 30, 60)),
+        ("gl", (5, 10, 30)),
+        ("fb", (5, 10)),
+    )
+    for interval in intervals
+)
+assert len(ALL_CONFIGURATIONS) == 14
+
+
+@lru_cache(maxsize=32)
+def _cached_trace(name: str, days: int | None, seed: int | None) -> WorkloadTrace:
+    gen = _GENERATORS[name]
+    kwargs = {}
+    if days is not None:
+        kwargs["days"] = days
+    if seed is not None:
+        kwargs["seed"] = seed
+    return gen(**kwargs)
+
+
+def get_trace(
+    name: str, days: int | None = None, seed: int | None = None
+) -> WorkloadTrace:
+    """Build (or fetch the cached) synthetic trace by short name."""
+    if name not in _GENERATORS:
+        raise ValueError(f"unknown trace {name!r}; choose from {TRACE_NAMES}")
+    return _cached_trace(name, days, seed)
+
+
+def get_configuration(key: str) -> WorkloadConfig:
+    """Look up a configuration by its ``<trace>-<interval>m`` key."""
+    for cfg in ALL_CONFIGURATIONS:
+        if cfg.key == key:
+            return cfg
+    raise ValueError(
+        f"unknown configuration {key!r}; choose from {[c.key for c in ALL_CONFIGURATIONS]}"
+    )
+
+
+def list_configurations() -> list[str]:
+    """Keys of all 14 workload configurations, Table I order."""
+    return [c.key for c in ALL_CONFIGURATIONS]

@@ -1,0 +1,198 @@
+"""Workload characterization statistics.
+
+The paper motivates LoadDynamics with the *variety* of workload patterns
+(cyclic, bursty, increasing — Section I).  This module quantifies those
+properties so traces — synthetic or user-supplied — can be characterized
+the same way the paper characterizes its five:
+
+* :func:`autocorrelation` / :func:`seasonality_strength` — is there a
+  daily/weekly cycle, and how strong;
+* :func:`dominant_period` — the FFT period CloudScale would lock onto;
+* :func:`burstiness` — Goh & Barabási's B = (sigma - mu)/(sigma + mu);
+* :func:`coefficient_of_variation`, :func:`peak_to_median`;
+* :func:`trend_slope` — normalized linear drift (increasing workloads);
+* :func:`hurst_exponent` — long-range dependence via rescaled range,
+  the property that motivates LSTM memory over short-window models;
+* :func:`characterize` — everything at once, as a dict.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "autocorrelation",
+    "seasonality_strength",
+    "dominant_period",
+    "burstiness",
+    "coefficient_of_variation",
+    "peak_to_median",
+    "trend_slope",
+    "hurst_exponent",
+    "characterize",
+]
+
+
+def _series(x) -> np.ndarray:
+    s = np.asarray(x, dtype=np.float64).ravel()
+    if s.size < 3:
+        raise ValueError("series too short to characterize")
+    return s
+
+
+def autocorrelation(series, lag: int) -> float:
+    """Pearson autocorrelation at ``lag`` (0 when the lag doesn't fit)."""
+    s = _series(series)
+    if lag <= 0:
+        raise ValueError("lag must be positive")
+    if lag >= s.size - 1:
+        return 0.0
+    x = s - s.mean()
+    denom = float(np.dot(x, x))
+    if denom < 1e-12:
+        return 0.0
+    return float(np.dot(x[:-lag], x[lag:]) / denom)
+
+
+def seasonality_strength(series, period: int) -> float:
+    """Share of variance explained by the mean profile over ``period``.
+
+    1 = perfectly periodic, 0 = no repeating structure at that period.
+    """
+    s = _series(series)
+    if period < 2:
+        raise ValueError("period must be >= 2")
+    n = (s.size // period) * period
+    if n < 2 * period:
+        return 0.0
+    folded = s[:n].reshape(-1, period)
+    profile = folded.mean(axis=0)
+    resid = folded - profile
+    total = float(np.var(s[:n]))
+    if total < 1e-12:
+        return 0.0
+    return float(max(0.0, 1.0 - np.var(resid) / total))
+
+
+def dominant_period(series, max_period: int | None = None) -> int | None:
+    """Period of the strongest non-DC FFT component, or None.
+
+    The same computation CloudScale's signature detector performs.
+    """
+    s = _series(series)
+    x = s - s.mean()
+    spectrum = np.abs(np.fft.rfft(x)) ** 2
+    spectrum[0] = 0.0
+    if spectrum.sum() <= 0:
+        return None
+    k = int(np.argmax(spectrum))
+    if k == 0:
+        return None
+    period = int(round(s.size / k))
+    if period < 2 or period > s.size // 2:
+        return None
+    if max_period is not None and period > max_period:
+        return None
+    return period
+
+
+def burstiness(series) -> float:
+    """Goh–Barabási burstiness B = (sigma - mu) / (sigma + mu) in [-1, 1].
+
+    -1 = perfectly regular, 0 = Poisson-like, → 1 = extremely bursty.
+    Computed on the series values (a rate-level proxy for the classic
+    inter-event-time definition, appropriate for interval counts).
+    """
+    s = _series(series)
+    mu, sigma = float(s.mean()), float(s.std())
+    if mu + sigma < 1e-12:
+        return 0.0
+    return float((sigma - mu) / (sigma + mu))
+
+
+def coefficient_of_variation(series) -> float:
+    """sigma / mu (0 for a constant series)."""
+    s = _series(series)
+    mu = float(s.mean())
+    if abs(mu) < 1e-12:
+        return 0.0
+    return float(s.std() / mu)
+
+
+def peak_to_median(series) -> float:
+    """max / median — the spike amplitude measure used for Fig. 1a."""
+    s = _series(series)
+    med = float(np.median(s))
+    if med < 1e-12:
+        return float("inf") if s.max() > 0 else 1.0
+    return float(s.max() / med)
+
+
+def trend_slope(series) -> float:
+    """OLS slope over normalized time, in units of series means.
+
+    ~0 for stationary series; e.g. 0.5 means the linear fit rises by
+    half the mean level over the whole span.
+    """
+    s = _series(series)
+    mu = float(s.mean())
+    if abs(mu) < 1e-12:
+        return 0.0
+    t = np.linspace(0.0, 1.0, s.size)
+    slope = float(np.polyfit(t, s, 1)[0])
+    return slope / mu
+
+
+def hurst_exponent(series, min_chunk: int = 8) -> float:
+    """Rescaled-range (R/S) Hurst exponent estimate.
+
+    H ≈ 0.5 for memoryless series; H > 0.5 indicates the long-range
+    dependence that motivates LSTM cell memory.  Clamped to [0, 1].
+    """
+    s = _series(series)
+    n = s.size
+    if n < 4 * min_chunk:
+        return 0.5
+    sizes = []
+    size = n
+    while size >= min_chunk:
+        sizes.append(size)
+        size //= 2
+    log_sizes, log_rs = [], []
+    for size in sizes:
+        m = n // size
+        chunks = s[: m * size].reshape(m, size)
+        means = chunks.mean(axis=1, keepdims=True)
+        dev = np.cumsum(chunks - means, axis=1)
+        R = dev.max(axis=1) - dev.min(axis=1)
+        S = chunks.std(axis=1)
+        valid = S > 1e-12
+        if not valid.any():
+            continue
+        rs = float(np.mean(R[valid] / S[valid]))
+        if rs > 0:
+            log_sizes.append(np.log(size))
+            log_rs.append(np.log(rs))
+    if len(log_sizes) < 2:
+        return 0.5
+    h = float(np.polyfit(log_sizes, log_rs, 1)[0])
+    return float(min(max(h, 0.0), 1.0))
+
+
+def characterize(series, daily_period: int | None = None) -> dict:
+    """All statistics at once; ``daily_period`` adds seasonality fields."""
+    s = _series(series)
+    out = {
+        "n": int(s.size),
+        "mean": float(s.mean()),
+        "cv": coefficient_of_variation(s),
+        "burstiness": burstiness(s),
+        "peak_to_median": peak_to_median(s),
+        "trend_slope": trend_slope(s),
+        "hurst": hurst_exponent(s),
+        "dominant_period": dominant_period(s),
+    }
+    if daily_period is not None:
+        out["daily_autocorr"] = autocorrelation(s, daily_period)
+        out["daily_seasonality"] = seasonality_strength(s, daily_period)
+    return out

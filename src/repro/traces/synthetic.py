@@ -1,0 +1,211 @@
+"""Seeded synthetic generators for the paper's five workload traces.
+
+Each generator builds a per-minute arrival-rate profile lambda(t)
+matching the trace's published shape (paper Fig. 1, Fig. 8, Table I,
+Section IV-A/B), then draws integer counts from a Poisson (optionally
+overdispersed) process.  Substitution rationale is in DESIGN.md §4; in
+brief, the evaluation only relies on the traces' *qualitative*
+properties:
+
+* **Wikipedia** — strong diurnal + weekly seasonality, millions of
+  requests per interval (so relative noise is tiny → paper MAPE ~1%);
+* **Google** — large JARs, no clear period, high spikes concentrated in
+  the first half of the trace (pattern change *within* the workload);
+* **Facebook** — a single day, heavy-tailed bursty MapReduce arrivals,
+  small JARs at 5-minute intervals (→ paper's worst-case 43% MAPE);
+* **Azure** — small per-minute rates with a mid-trace regime change and
+  mild diurnality;
+* **LCG** — HPC grid: ON/OFF burst episodes on a weekday-modulated base.
+
+All generators are deterministic in (seed, days).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.traces.loader import WorkloadTrace
+
+__all__ = [
+    "wikipedia_trace",
+    "google_trace",
+    "facebook_trace",
+    "azure_trace",
+    "lcg_trace",
+]
+
+_MINUTES_PER_DAY = 1440
+
+
+def _diurnal(t_min: np.ndarray, peak_hour: float = 14.0) -> np.ndarray:
+    """Smooth daily profile in [0, 1] peaking at ``peak_hour`` local time."""
+    hours = (t_min / 60.0) % 24.0
+    return 0.5 * (1.0 + np.cos(2.0 * np.pi * (hours - peak_hour) / 24.0))
+
+
+def _weekly(t_min: np.ndarray, weekend_dip: float = 0.15) -> np.ndarray:
+    """Weekday factor: 1.0 on weekdays, (1 - dip) on days 5 and 6."""
+    day = (t_min // _MINUTES_PER_DAY) % 7
+    return np.where(day >= 5, 1.0 - weekend_dip, 1.0)
+
+
+def _ar1(
+    rng: np.random.Generator, n: int, rho: float, sigma: float
+) -> np.ndarray:
+    """Zero-mean AR(1) path with persistence ``rho`` and innovation ``sigma``."""
+    e = rng.standard_normal(n) * sigma
+    out = np.empty(n)
+    acc = 0.0
+    for i in range(n):
+        acc = rho * acc + e[i]
+        out[i] = acc
+    return out
+
+
+def _poisson_counts(
+    rng: np.random.Generator, lam: np.ndarray, dispersion: float = 1.0
+) -> np.ndarray:
+    """Draw counts with mean ``lam``; ``dispersion > 1`` adds NB overdispersion.
+
+    Overdispersion uses the Gamma-Poisson mixture: variance becomes
+    lam * dispersion.  Large means (>1e6) switch to a Gaussian
+    approximation to avoid int64 overflow concerns in the Poisson sampler.
+    """
+    lam = np.maximum(lam, 0.0)
+    if dispersion > 1.0:
+        shape = lam / (dispersion - 1.0)
+        shape = np.maximum(shape, 1e-9)
+        lam = rng.gamma(shape, dispersion - 1.0)
+    big = lam > 1e6
+    counts = np.empty(lam.shape)
+    counts[~big] = rng.poisson(lam[~big])
+    counts[big] = np.round(lam[big] + rng.standard_normal(int(big.sum())) * np.sqrt(lam[big]))
+    return np.maximum(counts, 0.0)
+
+
+def wikipedia_trace(days: int = 21, seed: int = 11) -> WorkloadTrace:
+    """Web workload: strong seasonality, ~5.4M requests / 30-min interval."""
+    if days < 2:
+        raise ValueError("days must be >= 2")
+    rng = np.random.default_rng(seed)
+    n = days * _MINUTES_PER_DAY
+    t = np.arange(n, dtype=np.float64)
+    base = 180_000.0  # requests per minute → ~5.4M per 30 minutes
+    profile = 0.65 + 0.7 * _diurnal(t, peak_hour=15.0)
+    profile *= _weekly(t, weekend_dip=0.12)
+    trend = 1.0 + 0.002 * (t / _MINUTES_PER_DAY)  # slow organic growth
+    wander = np.exp(_ar1(rng, n, rho=0.995, sigma=0.002))  # gentle day-to-day drift
+    lam = base * profile * trend * wander
+    counts = _poisson_counts(rng, lam)
+    return WorkloadTrace(name="wiki", counts=counts, category="Web")
+
+
+def google_trace(days: int = 21, seed: int = 12) -> WorkloadTrace:
+    """Data-center workload: ~800k jobs / 30-min, spiky first half, no period."""
+    if days < 2:
+        raise ValueError("days must be >= 2")
+    rng = np.random.default_rng(seed)
+    n = days * _MINUTES_PER_DAY
+    base = 27_000.0  # jobs per minute → ~810k per 30 minutes
+    # Three-timescale stochastic level: a slowly meandering mean, an
+    # hour-scale component a good predictor can track, and fast
+    # submission churn — no seasonality, visibly rough (paper Fig. 1a).
+    slow = np.exp(_ar1(rng, n, rho=0.9995, sigma=0.006))
+    mid = np.exp(_ar1(rng, n, rho=0.997, sigma=0.025))
+    fast = np.exp(_ar1(rng, n, rho=0.75, sigma=0.12))
+    lam = base * slow * mid * fast
+    # High spikes concentrated in the first half (paper Fig. 1a).
+    n_spikes = max(10, 2 * days)
+    spike_starts = rng.integers(0, n // 2 - 60, size=n_spikes)
+    for s in spike_starts:
+        width = int(rng.integers(30, 180))
+        height = rng.uniform(2.0, 5.0)
+        ramp = np.exp(-np.linspace(0.0, 4.0, width))
+        lam[s : s + width] *= 1.0 + (height - 1.0) * ramp[: max(0, min(width, n - s))]
+    counts = _poisson_counts(rng, lam, dispersion=3.0)
+    return WorkloadTrace(name="gl", counts=counts, category="Data Center")
+
+
+def facebook_trace(days: int = 1, seed: int = 13) -> WorkloadTrace:
+    """Data-center MapReduce workload: one day, heavy fluctuation, small JARs."""
+    if days < 1:
+        raise ValueError("days must be >= 1")
+    rng = np.random.default_rng(seed)
+    n = days * _MINUTES_PER_DAY
+    t = np.arange(n, dtype=np.float64)
+    base = 6.0  # jobs per minute → ~30 per 5-minute interval
+    profile = 0.6 + 0.8 * _diurnal(t, peak_hour=13.0)
+    # Strong short-range fluctuation: fast AR(1) with large innovations.
+    churn = np.exp(_ar1(rng, n, rho=0.9, sigma=0.25))
+    lam = base * profile * churn
+    # Occasional batch submission bursts (MapReduce job trains).
+    n_bursts = 10 * days
+    for s in rng.integers(0, n - 15, size=n_bursts):
+        lam[s : s + int(rng.integers(3, 15))] *= rng.uniform(2.0, 6.0)
+    counts = _poisson_counts(rng, lam, dispersion=2.0)
+    return WorkloadTrace(name="fb", counts=counts, category="Data Center")
+
+
+def azure_trace(days: int = 30, seed: int = 14) -> WorkloadTrace:
+    """Public-cloud workload: small rates, mid-trace regime change."""
+    if days < 2:
+        raise ValueError("days must be >= 2")
+    rng = np.random.default_rng(seed)
+    n = days * _MINUTES_PER_DAY
+    t = np.arange(n, dtype=np.float64)
+    base = 1.6  # VM requests per minute — tiny JARs at 5-minute intervals
+    profile = 0.75 + 0.5 * _diurnal(t, peak_hour=11.0)
+    profile *= _weekly(t, weekend_dip=0.2)
+    # Regime change: demand steps up ~60% around 55% through the trace
+    # (public-cloud tenants onboarding — paper Fig. 8a shows the pattern
+    # within the Azure trace changing over time).
+    shift_at = int(0.55 * n)
+    ramp_len = 3 * _MINUTES_PER_DAY
+    ramp = np.clip((t - shift_at) / ramp_len, 0.0, 1.0)
+    regime = 1.0 + 0.6 * ramp
+    wander = np.exp(_ar1(rng, n, rho=0.998, sigma=0.003))
+    # Hour-scale churn + multi-hour tenant deployment episodes: real
+    # Azure VM-request streams are dominated by batchy per-tenant
+    # deployments, not a clean diurnal curve (Cortez et al. 2017).  The
+    # episodes decay over hours, so they are *trackable* dynamics at the
+    # evaluated 10–60 minute intervals — structure a predictor can earn
+    # accuracy on, unlike sub-interval noise.
+    churn = np.exp(_ar1(rng, n, rho=0.995, sigma=0.025))
+    lam = base * profile * regime * wander * churn
+    n_bursts = days  # roughly one large deployment episode per day
+    for s in rng.integers(0, n - 120, size=n_bursts):
+        width = int(rng.integers(120, 600))
+        height = rng.uniform(1.8, 3.5)
+        decay = np.exp(-np.linspace(0.0, 3.0, width))
+        end = min(s + width, n)
+        lam[s:end] *= 1.0 + (height - 1.0) * decay[: end - s]
+    counts = _poisson_counts(rng, lam, dispersion=1.5)
+    return WorkloadTrace(name="az", counts=counts, category="Public Cloud")
+
+
+def lcg_trace(days: int = 21, seed: int = 15) -> WorkloadTrace:
+    """HPC grid workload (LCG): bursty ON/OFF episodes, weekday modulation."""
+    if days < 2:
+        raise ValueError("days must be >= 2")
+    rng = np.random.default_rng(seed)
+    n = days * _MINUTES_PER_DAY
+    t = np.arange(n, dtype=np.float64)
+    base = 35.0  # jobs per minute in steady state
+    profile = 0.7 + 0.4 * _diurnal(t, peak_hour=10.0)
+    profile *= _weekly(t, weekend_dip=0.35)  # grids quiet down on weekends
+    # ON/OFF burst process: exponential-length ON episodes multiply the
+    # rate (large coordinated submissions typical of grid pilots).
+    gain = np.ones(n)
+    pos = 0
+    while pos < n:
+        off_len = int(rng.exponential(240.0)) + 30
+        pos += off_len
+        if pos >= n:
+            break
+        on_len = int(rng.exponential(90.0)) + 10
+        gain[pos : pos + on_len] = rng.uniform(2.0, 5.0)
+        pos += on_len
+    wander = np.exp(_ar1(rng, n, rho=0.997, sigma=0.004))
+    lam = base * profile * gain * wander
+    counts = _poisson_counts(rng, lam, dispersion=2.5)
+    return WorkloadTrace(name="lcg", counts=counts, category="HPC")

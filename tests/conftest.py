@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite.
+
+Everything is seeded: tests must be bit-for-bit reproducible run to run.
+Series fixtures are deliberately short — unit tests exercise code paths,
+not paper-scale accuracy (that is what ``benchmarks/`` is for).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def sine_series() -> np.ndarray:
+    """A clean learnable series: sinusoid + small noise, length 240."""
+    t = np.arange(240)
+    rng = np.random.default_rng(7)
+    return 100.0 + 40.0 * np.sin(2 * np.pi * t / 24.0) + rng.normal(0, 2.0, 240)
+
+
+@pytest.fixture
+def bursty_series() -> np.ndarray:
+    """A rough series with spikes (non-negative)."""
+    rng = np.random.default_rng(8)
+    base = 50.0 + 10.0 * rng.standard_normal(200).cumsum() * 0.1
+    series = np.maximum(base, 5.0)
+    series[::23] *= 3.0
+    return series
+
+
+@pytest.fixture
+def tiny_settings():
+    from repro.core import FrameworkSettings
+
+    return FrameworkSettings.tiny()

@@ -1,0 +1,74 @@
+"""Tests for the cloud cost accounting module."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autoscale import (
+    CloudSimulator,
+    CostReport,
+    PricingModel,
+    VMSpec,
+    price_run,
+)
+
+
+@pytest.fixture
+def result():
+    spec = VMSpec(startup_seconds=100.0, job_seconds=200.0, job_jitter_frac=0.0)
+    sim = CloudSimulator(spec=spec, seed=0)
+    return sim.run(np.array([4.0, 2.0, 0.0]), np.array([2.0, 4.0, 1.0]))
+
+
+class TestPricingModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PricingModel(vm_hourly_rate=-1.0)
+        with pytest.raises(ValueError):
+            PricingModel(billing_increment_seconds=0.0)
+        with pytest.raises(ValueError):
+            PricingModel(sla_penalty_per_violation=-0.1)
+
+
+class TestPriceRun:
+    def test_vm_cost_matches_vm_seconds(self, result):
+        pricing = PricingModel(vm_hourly_rate=3600.0, billing_increment_seconds=1e-9)
+        report = price_run("x", result, pricing)
+        # rate of 3600/h = 1/s → cost equals vm_seconds
+        assert report.vm_cost == pytest.approx(result.vm_seconds, rel=1e-9)
+
+    def test_billing_increment_rounds_up(self, result):
+        fine = price_run("x", result, PricingModel(billing_increment_seconds=1.0))
+        coarse = price_run("x", result, PricingModel(billing_increment_seconds=3600.0))
+        assert coarse.vm_cost >= fine.vm_cost
+
+    def test_sla_violations_counted(self, result):
+        # Interval 1 has 2 cold jobs → makespan 300 s; interval 2 idle.
+        strict = PricingModel(sla_deadline_seconds=250.0, sla_penalty_per_violation=5.0)
+        report = price_run("x", result, strict)
+        assert report.sla_violations == 1
+        assert report.sla_cost == pytest.approx(5.0)
+        assert report.total_cost == report.vm_cost + 5.0
+
+    def test_no_sla_by_default(self, result):
+        report = price_run("x", result)
+        assert report.sla_violations == 0
+        assert report.sla_cost == 0.0
+
+    def test_report_dict(self, result):
+        d = price_run("mypolicy", result).as_dict()
+        assert d["policy"] == "mypolicy"
+        assert set(d) == {"policy", "vm_cost", "sla_violations", "sla_cost", "total_cost"}
+
+    def test_overprovisioning_costs_more(self):
+        """More idle VMs must cost more money — the Section II-A claim."""
+        spec = VMSpec(job_jitter_frac=0.0)
+        sim = CloudSimulator(spec=spec, seed=0)
+        arrivals = np.full(5, 10.0)
+        exact = sim.run(arrivals, arrivals)
+        padded = sim.run(arrivals, arrivals + 10.0)
+        assert (
+            price_run("padded", padded).vm_cost
+            > price_run("exact", exact).vm_cost
+        )

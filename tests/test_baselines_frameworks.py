@@ -1,0 +1,215 @@
+"""Tests for the three framework baselines: CloudScale, Wood, CloudInsight,
+plus the ML wrappers and the registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CloudInsight,
+    CloudScale,
+    WindowedMLPredictor,
+    WoodPredictor,
+    cloudinsight_pool,
+    list_baselines,
+    make_baseline,
+    walk_forward,
+)
+from repro.baselines.naive import MeanPredictor
+from repro.metrics import mape
+from repro.ml import DecisionTreeRegressor
+
+
+class TestCloudScale:
+    def test_detects_period_of_pure_sine(self):
+        t = np.arange(512)
+        series = 100 + 50 * np.sin(2 * np.pi * t / 32)
+        cs = CloudScale()
+        cs.fit(series)
+        assert cs.detected_period_ == 32
+
+    def test_periodic_prediction_uses_signature(self):
+        t = np.arange(256)
+        series = 100 + 50 * np.sin(2 * np.pi * t / 16)
+        cs = CloudScale()
+        cs.fit(series)
+        assert cs.predict_next(series) == pytest.approx(series[-16], rel=1e-9)
+
+    def test_no_period_on_noise_uses_markov(self, rng):
+        series = rng.uniform(10, 20, 600)
+        cs = CloudScale()
+        cs.fit(series)
+        assert cs.detected_period_ is None
+        pred = cs.predict_next(series)
+        assert 10 <= pred <= 20  # Markov expectation stays in range
+
+    def test_markov_transition_rows_are_distributions(self, rng):
+        series = np.abs(rng.normal(50, 20, 400))
+        cs = CloudScale(n_states=8)
+        cs.fit(series)
+        if cs._transition is not None:
+            np.testing.assert_allclose(cs._transition.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_constant_series_fallback(self):
+        series = np.full(100, 5.0)
+        cs = CloudScale()
+        cs.fit(series)
+        assert cs.predict_next(series) == pytest.approx(5.0)
+
+    def test_seasonal_beats_markov_workload(self, sine_series):
+        preds = walk_forward(CloudScale(), sine_series, 200, refit_every=5)
+        assert mape(preds, sine_series[200:]) < 10.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CloudScale(fft_window=4)
+        with pytest.raises(ValueError):
+            CloudScale(dominance_threshold=1.5)
+        with pytest.raises(ValueError):
+            CloudScale(n_states=1)
+
+
+class TestWood:
+    def test_tracks_linear_trend(self):
+        series = 5.0 * np.arange(60.0) + 100
+        w = WoodPredictor(window=20)
+        w.fit(series)
+        assert w.predict_next(series) == pytest.approx(5.0 * 60 + 100, rel=0.02)
+
+    def test_robust_to_spikes(self):
+        series = 10.0 * np.ones(40)
+        series[35] = 1000.0  # one spike inside the window
+        w = WoodPredictor(window=20)
+        w.fit(series)
+        assert w.predict_next(series) < 100.0  # spike mostly ignored
+
+    def test_short_history(self):
+        w = WoodPredictor()
+        assert np.isfinite(w.predict_next(np.array([4.0, 5.0])))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WoodPredictor(window=2)
+
+
+class TestWindowedML:
+    def test_wraps_tree_model(self, sine_series):
+        p = WindowedMLPredictor(
+            lambda: DecisionTreeRegressor(max_depth=6), window=8, name="tree"
+        )
+        preds = walk_forward(p, sine_series, 200, refit_every=10)
+        assert mape(preds, sine_series[200:]) < 15.0
+
+    def test_max_train_caps_pairs(self):
+        calls = {}
+
+        class SpyModel:
+            def fit(self, X, y):
+                calls["n"] = len(y)
+
+            def predict(self, X):
+                return np.zeros(len(X))
+
+        p = WindowedMLPredictor(SpyModel, window=4, max_train=50)
+        p.fit(np.arange(500.0))
+        assert calls["n"] == 50
+
+    def test_short_history_fallback(self):
+        p = WindowedMLPredictor(lambda: DecisionTreeRegressor(), window=10)
+        assert p.predict_next(np.array([1.0, 2.0])) == 2.0
+
+
+class TestCloudInsight:
+    def test_pool_has_21_members_with_unique_names(self):
+        pool = cloudinsight_pool("fast")
+        assert len(pool) == 21
+        names = [m.name for m in pool]
+        assert len(set(names)) == 21
+
+    def test_paper_profile_pool(self):
+        assert len(cloudinsight_pool("paper")) == 21
+
+    def test_invalid_profile(self):
+        with pytest.raises(ValueError):
+            cloudinsight_pool("huge")
+
+    def test_selects_good_expert_on_trend(self):
+        """On a clean linear trend the council must not keep using the
+        flat-mean expert once errors accumulate."""
+        series = 10.0 * np.arange(80.0) + 50
+        pool = [MeanPredictor(window=5), _PerfectTrend()]
+        ci = CloudInsight(pool=pool, rebuild_every=1, eval_window=5)
+        preds = walk_forward(ci, series, 40, refit_every=1)
+        assert ci.selected_member is pool[1]
+        assert mape(preds[5:], series[45:]) < 5.0
+
+    def test_member_scores_shape(self):
+        pool = [MeanPredictor(), _PerfectTrend()]
+        ci = CloudInsight(pool=pool)
+        scores = ci.member_scores()
+        assert scores.shape == (2,)
+        assert np.all(np.isinf(scores))  # unscored before any interval
+
+    def test_series_restart_resets_state(self):
+        pool = [MeanPredictor(), _PerfectTrend()]
+        ci = CloudInsight(pool=pool, rebuild_every=1)
+        long = np.arange(1.0, 40.0)
+        walk_forward(ci, long, 30)
+        assert ci._seen_len > 10
+        short = np.arange(1.0, 12.0)
+        ci.fit(short)  # shorter series → reset, not crash
+        assert ci._seen_len == len(short)
+
+    def test_member_exception_is_contained(self):
+        class Exploding(MeanPredictor):
+            def predict_next(self, history):
+                raise ValueError("boom")
+
+        ci = CloudInsight(pool=[Exploding(), _PerfectTrend()], rebuild_every=1)
+        series = np.arange(1.0, 30.0)
+        preds = walk_forward(ci, series, 20)
+        assert np.all(np.isfinite(preds))
+
+    def test_full_council_on_real_series(self, sine_series):
+        """End-to-end with all 21 members on a seasonal series."""
+        ci = CloudInsight(profile="fast")
+        preds = walk_forward(ci, sine_series, 225, refit_every=1)
+        assert mape(preds, sine_series[225:]) < 15.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CloudInsight(pool=[])
+        with pytest.raises(ValueError):
+            CloudInsight(rebuild_every=0)
+
+
+class _PerfectTrend:
+    """Helper expert: exact one-step extrapolation of a linear trend."""
+
+    name = "perfect-trend"
+    min_history = 2
+
+    def fit(self, history):
+        return self
+
+    def predict_next(self, history):
+        if len(history) < 2:
+            return float(history[-1]) if len(history) else 0.0
+        return float(2 * history[-1] - history[-2])
+
+
+class TestRegistry:
+    def test_all_names_instantiable(self):
+        for name in list_baselines():
+            p = make_baseline(name)
+            assert hasattr(p, "predict_next")
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown baseline"):
+            make_baseline("prophet")
+
+    def test_registry_covers_frameworks(self):
+        names = list_baselines()
+        for required in ("cloudinsight", "cloudscale", "wood", "arima", "knn"):
+            assert required in names

@@ -1,0 +1,72 @@
+"""Tests for the seasonal Holt-Winters predictor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    HoltDESPredictor,
+    HoltWintersSeasonalPredictor,
+    make_baseline,
+    walk_forward,
+)
+from repro.metrics import mape
+
+
+@pytest.fixture
+def seasonal_series():
+    t = np.arange(360)
+    rng = np.random.default_rng(4)
+    return (100 + 10 * t / 360) * (1.0 + 0.4 * np.sin(2 * np.pi * t / 24)) + rng.normal(
+        0, 1.5, 360
+    )
+
+
+class TestHoltWintersSeasonal:
+    def test_tracks_seasonal_series(self, seasonal_series):
+        p = HoltWintersSeasonalPredictor(period=24)
+        preds = walk_forward(p, seasonal_series, 300)
+        assert mape(preds, seasonal_series[300:]) < 5.0
+
+    def test_beats_nonseasonal_holt(self, seasonal_series):
+        hw = walk_forward(
+            HoltWintersSeasonalPredictor(period=24), seasonal_series, 300
+        )
+        holt = walk_forward(HoltDESPredictor(), seasonal_series, 300)
+        assert mape(hw, seasonal_series[300:]) < mape(holt, seasonal_series[300:])
+
+    def test_additive_mode(self, seasonal_series):
+        p = HoltWintersSeasonalPredictor(period=24, multiplicative=False)
+        preds = walk_forward(p, seasonal_series, 300)
+        assert mape(preds, seasonal_series[300:]) < 10.0
+
+    def test_wrong_period_degrades(self, seasonal_series):
+        right = walk_forward(
+            HoltWintersSeasonalPredictor(period=24), seasonal_series, 300
+        )
+        wrong = walk_forward(
+            HoltWintersSeasonalPredictor(period=17), seasonal_series, 300
+        )
+        assert mape(right, seasonal_series[300:]) < mape(wrong, seasonal_series[300:])
+
+    def test_short_history_fallback(self):
+        p = HoltWintersSeasonalPredictor(period=24)
+        assert p.predict_next(np.array([5.0, 6.0])) == 6.0
+
+    def test_constant_series_stable(self):
+        p = HoltWintersSeasonalPredictor(period=4)
+        series = np.full(40, 10.0)
+        assert p.predict_next(series) == pytest.approx(10.0, rel=1e-6)
+
+    def test_in_registry(self):
+        p = make_baseline("holt-winters-seasonal")
+        assert p.period == 48
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HoltWintersSeasonalPredictor(period=1)
+        with pytest.raises(ValueError):
+            HoltWintersSeasonalPredictor(period=4, alpha=0.0)
+        with pytest.raises(ValueError):
+            HoltWintersSeasonalPredictor(period=4, gamma=1.5)

@@ -1,0 +1,225 @@
+"""Tests for the naive / regression / time-series baseline predictors and
+the walk-forward evaluator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.baselines import (
+    ARIMAPredictor,
+    ARMAPredictor,
+    ARPredictor,
+    BrownDESPredictor,
+    EMAPredictor,
+    HoltDESPredictor,
+    KNNPredictor,
+    MeanPredictor,
+    PolynomialTrendPredictor,
+    WMAPredictor,
+    walk_forward,
+)
+from repro.metrics import mape
+
+
+class TestWalkForward:
+    def test_no_lookahead(self):
+        """A predictor that peeks would see the future value; the contract
+        is history[:i] only.  Record what each call receives."""
+        seen = []
+
+        class Spy(MeanPredictor):
+            def predict_next(self, history):
+                seen.append(len(history))
+                return super().predict_next(history)
+
+        series = np.arange(1.0, 21.0)
+        walk_forward(Spy(), series, start=15)
+        assert seen == [15, 16, 17, 18, 19]
+
+    def test_output_alignment(self):
+        series = np.arange(1.0, 11.0)
+
+        class LastValue(MeanPredictor):
+            def predict_next(self, history):
+                return float(history[-1])
+
+        preds = walk_forward(LastValue(), series, start=5)
+        np.testing.assert_array_equal(preds, series[4:-1])
+
+    def test_nonfinite_prediction_replaced(self):
+        class Broken(MeanPredictor):
+            def predict_next(self, history):
+                return float("nan")
+
+        preds = walk_forward(Broken(), np.arange(1.0, 8.0), start=4)
+        assert np.all(np.isfinite(preds))
+
+    def test_negative_clipped(self):
+        class Negative(MeanPredictor):
+            def predict_next(self, history):
+                return -5.0
+
+        preds = walk_forward(Negative(), np.ones(6), start=3)
+        np.testing.assert_array_equal(preds, 0.0)
+
+    def test_refit_cadence(self):
+        fits = []
+
+        class CountFits(MeanPredictor):
+            def fit(self, history):
+                fits.append(len(history))
+                return self
+
+        walk_forward(CountFits(), np.ones(20), start=10, refit_every=5)
+        assert fits == [10, 15]
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            walk_forward(MeanPredictor(), np.ones(5), start=0)
+        with pytest.raises(ValueError):
+            walk_forward(MeanPredictor(), np.ones(5), start=3, refit_every=0)
+
+
+class TestNaive:
+    def test_mean_window(self):
+        p = MeanPredictor(window=3)
+        assert p.predict_next(np.array([1.0, 2.0, 3.0, 4.0, 5.0])) == pytest.approx(4.0)
+
+    def test_mean_all_history(self):
+        p = MeanPredictor(window=None)
+        assert p.predict_next(np.array([2.0, 4.0])) == pytest.approx(3.0)
+
+    def test_mean_empty(self):
+        assert MeanPredictor().predict_next(np.array([])) == 0.0
+
+    def test_knn_learns_repeating_pattern(self):
+        pattern = np.array([1.0, 2.0, 3.0, 4.0] * 25)
+        p = KNNPredictor(k=3, window=4)
+        p.fit(pattern)
+        # after [1,2,3,4] the next value is always 1
+        assert p.predict_next(pattern) == pytest.approx(1.0, abs=1e-6)
+
+    def test_knn_short_history_fallback(self):
+        p = KNNPredictor(k=3, window=10)
+        assert p.predict_next(np.array([5.0, 6.0])) == 6.0
+
+
+class TestPolynomialTrend:
+    def test_linear_trend_extrapolation(self):
+        series = 2.0 * np.arange(30.0) + 5.0
+        p = PolynomialTrendPredictor(degree=1, scope="local", window=10)
+        assert p.predict_next(series) == pytest.approx(2.0 * 30 + 5, rel=1e-6)
+
+    def test_quadratic_fits_parabola(self):
+        t = np.arange(40.0)
+        series = 0.5 * t**2
+        p = PolynomialTrendPredictor(degree=2, scope="global")
+        assert p.predict_next(series) == pytest.approx(0.5 * 40**2, rel=1e-3)
+
+    def test_all_six_variants_run(self, sine_series):
+        for deg in (1, 2, 3):
+            for scope in ("local", "global"):
+                p = PolynomialTrendPredictor(deg, scope)
+                assert np.isfinite(p.predict_next(sine_series))
+
+    def test_short_history_fallback(self):
+        p = PolynomialTrendPredictor(degree=3)
+        assert p.predict_next(np.array([7.0])) == 7.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PolynomialTrendPredictor(degree=4)
+        with pytest.raises(ValueError):
+            PolynomialTrendPredictor(scope="windowed")
+
+
+class TestSmoothers:
+    def test_wma_weights_recent_more(self):
+        rising = np.array([1.0, 2.0, 3.0])
+        assert WMAPredictor(window=3).predict_next(rising) > np.mean(rising)
+
+    def test_ema_constant_series_fixpoint(self):
+        series = np.full(50, 7.0)
+        assert EMAPredictor(alpha=0.3).predict_next(series) == pytest.approx(7.0)
+
+    def test_holt_tracks_linear_trend(self):
+        series = 3.0 * np.arange(60.0)
+        pred = HoltDESPredictor(alpha=0.8, beta=0.5).predict_next(series)
+        assert pred == pytest.approx(3.0 * 60, rel=0.05)
+
+    def test_brown_tracks_linear_trend(self):
+        series = 2.0 * np.arange(80.0) + 10
+        pred = BrownDESPredictor(alpha=0.5).predict_next(series)
+        assert pred == pytest.approx(2.0 * 80 + 10, rel=0.05)
+
+    @given(arrays(np.float64, st.integers(2, 40), elements=st.floats(0.0, 1e5)))
+    @settings(max_examples=40, deadline=None)
+    def test_smoothers_stay_in_convex_hull_ish(self, series):
+        """EMA/WMA are convex combinations → within [min, max] of history."""
+        for p in (WMAPredictor(window=10), EMAPredictor(alpha=0.4)):
+            v = p.predict_next(series)
+            assert series.min() - 1e-6 <= v <= series.max() + 1e-6
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            EMAPredictor(alpha=0.0)
+        with pytest.raises(ValueError):
+            HoltDESPredictor(alpha=1.5)
+        with pytest.raises(ValueError):
+            BrownDESPredictor(alpha=1.0)
+        with pytest.raises(ValueError):
+            WMAPredictor(window=0)
+
+
+class TestAutoregressive:
+    def test_ar_recovers_ar1_process(self, rng):
+        # y_t = 0.8 y_{t-1} + e
+        n = 500
+        y = np.zeros(n)
+        for i in range(1, n):
+            y[i] = 0.8 * y[i - 1] + rng.normal(0, 0.1)
+        p = ARPredictor(p=1)
+        p.fit(y)
+        assert p._beta[1] == pytest.approx(0.8, abs=0.05)
+
+    def test_ar_forecast_accuracy_on_sine(self, sine_series):
+        preds = walk_forward(ARPredictor(p=8), sine_series, 200, refit_every=5)
+        assert mape(preds, sine_series[200:]) < 8.0
+
+    def test_arma_runs_and_beats_mean_on_sine(self, sine_series):
+        preds_arma = walk_forward(ARMAPredictor(p=4, q=2), sine_series, 200, refit_every=5)
+        preds_mean = walk_forward(MeanPredictor(window=10), sine_series, 200)
+        assert mape(preds_arma, sine_series[200:]) < mape(preds_mean, sine_series[200:])
+
+    def test_arima_handles_trend(self):
+        rng = np.random.default_rng(3)
+        series = np.cumsum(rng.normal(1.0, 0.1, 300)) + 100  # drifting upward
+        preds = walk_forward(ARIMAPredictor(p=2, d=1, q=1), series, 250, refit_every=10)
+        # Differencing should track the drift: low relative error.
+        assert mape(preds, series[250:]) < 2.0
+
+    def test_arima_d0_equals_arma(self, sine_series):
+        a = ARIMAPredictor(p=2, d=0, q=1)
+        b = ARMAPredictor(p=2, q=1)
+        a.fit(sine_series)
+        b.fit(sine_series)
+        assert a.predict_next(sine_series) == pytest.approx(
+            b.predict_next(sine_series)
+        )
+
+    def test_short_history_fallbacks(self):
+        short = np.array([3.0, 4.0])
+        for p in (ARPredictor(5), ARMAPredictor(2, 1), ARIMAPredictor(2, 1, 1)):
+            assert np.isfinite(p.predict_next(short))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ARPredictor(p=0)
+        with pytest.raises(ValueError):
+            ARMAPredictor(p=0, q=1)
+        with pytest.raises(ValueError):
+            ARIMAPredictor(p=1, d=-1, q=1)

@@ -1,0 +1,183 @@
+"""Tests for search spaces and acquisition functions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bayesopt import (
+    CategoricalParam,
+    FloatParam,
+    IntParam,
+    SearchSpace,
+    expected_improvement,
+    lower_confidence_bound,
+    probability_of_improvement,
+)
+
+
+class TestIntParam:
+    def test_roundtrip_endpoints(self):
+        p = IntParam("n", 1, 512, log=True)
+        assert p.from_unit(0.0) == 1
+        assert p.from_unit(1.0) == 512
+        assert p.to_unit(1) == pytest.approx(0.0)
+        assert p.to_unit(512) == pytest.approx(1.0)
+
+    @given(st.integers(1, 512))
+    @settings(max_examples=60, deadline=None)
+    def test_log_roundtrip_near_identity(self, v):
+        p = IntParam("n", 1, 512, log=True)
+        # Rounding may shift by a grid cell but must stay close in log space.
+        back = p.from_unit(p.to_unit(v))
+        assert abs(np.log(back) - np.log(v)) < 0.05 or back == v
+
+    @given(st.floats(0, 1))
+    @settings(max_examples=60, deadline=None)
+    def test_from_unit_in_range(self, u):
+        p = IntParam("k", 3, 17)
+        assert 3 <= p.from_unit(u) <= 17
+
+    def test_out_of_range_rejected(self):
+        p = IntParam("k", 3, 17)
+        with pytest.raises(ValueError):
+            p.to_unit(2)
+
+    def test_clip_outside_unit(self):
+        p = IntParam("k", 3, 17)
+        assert p.from_unit(-0.5) == 3
+        assert p.from_unit(1.5) == 17
+
+    def test_degenerate_range(self):
+        p = IntParam("k", 5, 5)
+        assert p.from_unit(0.7) == 5
+        assert p.to_unit(5) == 0.0
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            IntParam("k", 5, 3)
+        with pytest.raises(ValueError):
+            IntParam("k", 0, 3, log=True)
+
+    def test_grid_values_sorted_unique(self):
+        vals = IntParam("n", 1, 100, log=True).grid_values(5)
+        assert vals == sorted(set(vals))
+        assert vals[0] == 1 and vals[-1] == 100
+
+
+class TestFloatParam:
+    @given(st.floats(0, 1))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip(self, u):
+        p = FloatParam("lr", 1e-4, 1e-1, log=True)
+        v = p.from_unit(u)
+        assert p.to_unit(v) == pytest.approx(u, abs=1e-9)
+
+    def test_invalid_log_range(self):
+        with pytest.raises(ValueError):
+            FloatParam("x", -1.0, 1.0, log=True)
+
+
+class TestCategoricalParam:
+    def test_roundtrip_all_choices(self):
+        p = CategoricalParam("act", ("tanh", "relu", "sigmoid"))
+        for c in p.choices:
+            assert p.from_unit(p.to_unit(c)) == c
+
+    def test_unknown_choice(self):
+        p = CategoricalParam("act", ("a", "b"))
+        with pytest.raises(ValueError):
+            p.to_unit("c")
+
+    def test_empty_choices(self):
+        with pytest.raises(ValueError):
+            CategoricalParam("x", ())
+
+
+class TestSearchSpace:
+    @pytest.fixture
+    def space(self):
+        return SearchSpace(
+            [
+                IntParam("n", 1, 64, log=True),
+                IntParam("s", 1, 32),
+                CategoricalParam("act", ("tanh", "relu")),
+            ]
+        )
+
+    def test_vector_roundtrip(self, space):
+        cfg = {"n": 16, "s": 20, "act": "relu"}
+        u = space.to_unit(cfg)
+        assert u.shape == (3,)
+        assert space.from_unit(u) == cfg
+
+    def test_sample_valid(self, space, rng):
+        for cfg in space.sample(rng, 50):
+            space.validate(cfg)  # must not raise
+
+    def test_sample_deterministic(self, space):
+        a = SearchSpace.sample(space, np.random.default_rng(3), 5)
+        b = SearchSpace.sample(space, np.random.default_rng(3), 5)
+        assert a == b
+
+    def test_validate_missing_key(self, space):
+        with pytest.raises(ValueError, match="missing"):
+            space.validate({"n": 4, "s": 2})
+
+    def test_grid_full_factorial(self, space):
+        grid = space.grid(points_per_dim=2)
+        assert len(grid) == space.size_of_grid(2)
+        assert len({tuple(sorted(g.items())) for g in grid}) == len(grid)
+
+    def test_grid_max_points(self, space):
+        grid = space.grid(points_per_dim=3, max_points=4)
+        assert len(grid) == 4
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            SearchSpace([IntParam("n", 1, 2), IntParam("n", 1, 3)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SearchSpace([])
+
+    def test_getitem(self, space):
+        assert space["n"].name == "n"
+        with pytest.raises(KeyError):
+            space["zz"]
+
+
+class TestAcquisitions:
+    def test_ei_zero_when_hopeless(self):
+        # mean far above best with tiny sigma → no expected improvement
+        ei = expected_improvement(np.array([10.0]), np.array([1e-9]), best=0.0)
+        assert ei[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_ei_large_when_mean_below_best(self):
+        ei = expected_improvement(np.array([-1.0]), np.array([0.1]), best=0.0)
+        assert ei[0] == pytest.approx(1.0, abs=0.05)
+
+    def test_ei_increases_with_sigma_at_same_mean(self):
+        mu = np.array([1.0, 1.0])
+        sd = np.array([0.1, 2.0])
+        ei = expected_improvement(mu, sd, best=0.0)
+        assert ei[1] > ei[0]
+
+    def test_pi_is_probability(self):
+        pi = probability_of_improvement(
+            np.array([-5.0, 0.0, 5.0]), np.array([1.0, 1.0, 1.0]), best=0.0
+        )
+        assert np.all((pi >= 0.0) & (pi <= 1.0))
+        assert pi[0] > pi[1] > pi[2]
+
+    def test_lcb_prefers_low_mean_high_sigma(self):
+        s = lower_confidence_bound(np.array([1.0, 1.0]), np.array([0.1, 1.0]))
+        assert s[1] > s[0]
+        s2 = lower_confidence_bound(np.array([0.0, 1.0]), np.array([0.5, 0.5]))
+        assert s2[0] > s2[1]
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            expected_improvement(np.zeros(2), np.zeros(3), best=0.0)

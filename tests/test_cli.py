@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for cmd in ("list", "fit", "predict", "fig2", "fig5", "fig9", "fig10",
+                    "ablation"):
+            args = parser.parse_args(
+                [cmd] + (["gl-30m"] if cmd == "fit" else
+                         ["d", "gl-30m"] if cmd == "predict" else [])
+            )
+            assert args.command == cmd
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fig9_options(self):
+        args = build_parser().parse_args(
+            ["fig9", "--configs", "gl-30m", "fb-10m", "--max-iters", "3",
+             "--no-brute-force", "--table4"]
+        )
+        assert args.configs == ["gl-30m", "fb-10m"]
+        assert args.max_iters == 3
+        assert args.no_brute_force and args.table4
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "gl-30m" in out
+        assert "cloudinsight" in out
+
+    def test_fit_and_predict_roundtrip(self, capsys, tmp_path):
+        save_dir = str(tmp_path / "model")
+        rc = main([
+            "fit", "fb-10m", "--budget", "tiny",
+            "--max-iters", "3", "--epochs", "5", "--save", save_dir,
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "validation MAPE" in out and "saved predictor" in out
+
+        rc = main(["predict", save_dir, "fb-10m"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "predicted next JAR" in out
+
+    def test_fit_extended_space(self, capsys, tmp_path):
+        rc = main([
+            "fit", "fb-10m", "--budget", "tiny",
+            "--max-iters", "3", "--epochs", "5", "--extended",
+        ])
+        assert rc == 0
+        assert "selected" in capsys.readouterr().out

@@ -1,0 +1,140 @@
+"""Tests for the GP kernels: PSD-ness, symmetry, analytic gradients."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.gp import (
+    RBF,
+    ConstantKernel,
+    Matern32,
+    Matern52,
+    Product,
+    Sum,
+    WhiteNoise,
+)
+
+ALL_KERNELS = [
+    lambda: RBF(variance=1.5, lengthscale=0.7),
+    lambda: RBF(ard=True, n_dims=3, lengthscale=[0.5, 1.0, 2.0]),
+    lambda: Matern32(variance=0.8, lengthscale=1.2),
+    lambda: Matern52(variance=2.0, lengthscale=0.5),
+    lambda: Matern52(ard=True, n_dims=3),
+    lambda: WhiteNoise(noise=0.1),
+    lambda: ConstantKernel(0.5),
+    lambda: Sum(RBF(), WhiteNoise(0.01)),
+    lambda: Product(RBF(lengthscale=2.0), ConstantKernel(0.3)),
+]
+
+
+@pytest.fixture
+def X(rng):
+    return rng.uniform(0, 1, (12, 3))
+
+
+class TestKernelBasics:
+    @pytest.mark.parametrize("factory", ALL_KERNELS)
+    def test_gram_symmetric_psd(self, factory, X):
+        K = factory()(X)
+        np.testing.assert_allclose(K, K.T, atol=1e-12)
+        eig = np.linalg.eigvalsh(K)
+        assert eig.min() > -1e-9
+
+    @pytest.mark.parametrize("factory", ALL_KERNELS)
+    def test_diag_matches_gram(self, factory, X):
+        k = factory()
+        np.testing.assert_allclose(k.diag(X), np.diag(k(X)), atol=1e-12)
+
+    @pytest.mark.parametrize("factory", ALL_KERNELS)
+    def test_theta_roundtrip(self, factory):
+        k = factory()
+        t = k.theta.copy()
+        k.theta = t
+        np.testing.assert_allclose(k.theta, t)
+
+    @pytest.mark.parametrize("factory", ALL_KERNELS)
+    def test_bounds_shape(self, factory):
+        k = factory()
+        assert k.bounds.shape == (k.n_theta, 2)
+        assert np.all(k.bounds[:, 0] < k.bounds[:, 1])
+
+    def test_cross_kernel_shape(self, X, rng):
+        k = RBF()
+        X2 = rng.uniform(0, 1, (5, 3))
+        assert k(X, X2).shape == (12, 5)
+
+    def test_stationary_unit_diagonal_scaling(self, X):
+        k = RBF(variance=3.0)
+        np.testing.assert_allclose(np.diag(k(X)), 3.0)
+
+    def test_white_noise_off_diagonal_zero(self, X, rng):
+        k = WhiteNoise(0.5)
+        np.testing.assert_allclose(k(X) - 0.5 * np.eye(12), 0.0)
+        X2 = rng.uniform(0, 1, (4, 3))
+        np.testing.assert_allclose(k(X, X2), 0.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            RBF(variance=-1.0)
+        with pytest.raises(ValueError):
+            RBF(lengthscale=0.0)
+        with pytest.raises(ValueError):
+            WhiteNoise(0.0)
+        with pytest.raises(ValueError):
+            RBF(ard=True)  # needs n_dims
+
+    def test_composition_operators(self, X):
+        k = RBF() + WhiteNoise(0.1)
+        assert isinstance(k, Sum)
+        k2 = RBF() * ConstantKernel(2.0)
+        assert isinstance(k2, Product)
+        np.testing.assert_allclose(k2(X), 2.0 * RBF()(X), atol=1e-12)
+
+
+class TestKernelGradients:
+    @pytest.mark.parametrize("factory", ALL_KERNELS)
+    def test_analytic_matches_numeric(self, factory, X):
+        k = factory()
+        grads = k.gradients(X)
+        t0 = k.theta.copy()
+        eps = 1e-6
+        for j in range(k.n_theta):
+            tp = t0.copy()
+            tp[j] += eps
+            k.theta = tp
+            Kp = k(X)
+            tm = t0.copy()
+            tm[j] -= eps
+            k.theta = tm
+            Km = k(X)
+            k.theta = t0
+            num = (Kp - Km) / (2 * eps)
+            np.testing.assert_allclose(grads[j], num, atol=1e-5)
+
+    def test_gradient_stack_shape(self, X):
+        k = RBF(ard=True, n_dims=3)
+        assert k.gradients(X).shape == (4, 12, 12)
+
+
+class TestKernelProperties:
+    @given(
+        x=arrays(np.float64, (6, 2), elements=st.floats(-5, 5)),
+        ls=st.floats(0.1, 10.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_rbf_bounded_by_variance(self, x, ls):
+        k = RBF(variance=2.0, lengthscale=ls)
+        K = k(x)
+        assert np.all(K <= 2.0 + 1e-12)
+        assert np.all(K >= 0.0)
+
+    @given(x=arrays(np.float64, (5, 2), elements=st.floats(-3, 3, width=32)))
+    @settings(max_examples=30, deadline=None)
+    def test_matern_self_similarity_is_max(self, x):
+        K = Matern52()(x)
+        diag = np.diag(K)
+        assert np.all(K <= diag[:, None] + 1e-9)

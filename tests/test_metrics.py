@@ -1,0 +1,124 @@
+"""Unit and property tests for repro.metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.metrics import (
+    absolute_percentage_errors,
+    mae,
+    mape,
+    mse,
+    overprovision_rate,
+    rmse,
+    smape,
+    underprovision_rate,
+)
+
+
+class TestMape:
+    def test_exact_prediction_is_zero(self):
+        a = np.array([10.0, 20.0, 30.0])
+        assert mape(a, a) == 0.0
+
+    def test_known_value(self):
+        # errors: 10%, 50% → mean 30%
+        assert mape([110.0, 50.0], [100.0, 100.0]) == pytest.approx(30.0)
+
+    def test_skips_zero_actuals(self):
+        # the zero-actual interval contributes nothing
+        assert mape([110.0, 5.0], [100.0, 0.0]) == pytest.approx(10.0)
+
+    def test_all_zero_actuals_raises(self):
+        with pytest.raises(ValueError, match="all actual values are zero"):
+            mape([1.0, 2.0], [0.0, 0.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mape([], [])
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="same length"):
+            mape([1.0], [1.0, 2.0])
+
+    def test_symmetric_in_sign_of_error(self):
+        up = mape([110.0], [100.0])
+        down = mape([90.0], [100.0])
+        assert up == pytest.approx(down)
+
+    @given(
+        actual=arrays(
+            np.float64,
+            st.integers(1, 30),
+            elements=st.floats(1.0, 1e6),
+        ),
+        rel=st.floats(-0.5, 0.5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_uniform_relative_error_recovered(self, actual, rel):
+        """MAPE of predictions off by a uniform factor equals |factor|."""
+        pred = actual * (1.0 + rel)
+        assert mape(pred, actual) == pytest.approx(100.0 * abs(rel), rel=1e-9)
+
+    @given(
+        pred=arrays(np.float64, 10, elements=st.floats(0.0, 1e6)),
+        actual=arrays(np.float64, 10, elements=st.floats(1.0, 1e6)),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_nonnegative(self, pred, actual):
+        assert mape(pred, actual) >= 0.0
+
+
+class TestOtherErrors:
+    def test_mae_rmse_mse_consistency(self, rng):
+        p = rng.normal(size=50)
+        a = rng.normal(size=50)
+        assert rmse(p, a) == pytest.approx(np.sqrt(mse(p, a)))
+        assert mae(p, a) <= rmse(p, a) + 1e-12  # Jensen
+
+    def test_smape_bounded(self):
+        assert smape([1000.0], [1.0]) <= 200.0
+        assert smape([0.0], [0.0]) == 0.0
+
+    def test_ape_nan_on_zero(self):
+        errs = absolute_percentage_errors([1.0, 2.0], [0.0, 1.0])
+        assert np.isnan(errs[0]) and errs[1] == pytest.approx(100.0)
+
+
+class TestProvisioningRates:
+    def test_perfect_provisioning(self):
+        req = np.array([5.0, 10.0, 3.0])
+        assert underprovision_rate(req, req) == 0.0
+        assert overprovision_rate(req, req) == 0.0
+
+    def test_under_only_counts_shortfall(self):
+        # provisioned 5 vs required 10 → 50% shortfall
+        assert underprovision_rate([5.0], [10.0]) == pytest.approx(50.0)
+        assert overprovision_rate([5.0], [10.0]) == 0.0
+
+    def test_over_only_counts_surplus(self):
+        assert overprovision_rate([15.0], [10.0]) == pytest.approx(50.0)
+        assert underprovision_rate([15.0], [10.0]) == 0.0
+
+    def test_zero_required_intervals(self):
+        # no arrivals: no shortfall; surplus measured against 1 VM
+        assert underprovision_rate([3.0], [0.0]) == 0.0
+        assert overprovision_rate([3.0], [0.0]) == pytest.approx(300.0)
+
+    @given(
+        prov=arrays(np.float64, 8, elements=st.floats(0.0, 100.0)),
+        req=arrays(np.float64, 8, elements=st.floats(0.0, 100.0)),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_rates_nonnegative(self, prov, req):
+        assert underprovision_rate(prov, req) >= 0.0
+        assert overprovision_rate(prov, req) >= 0.0
+
+    @given(req=arrays(np.float64, 8, elements=st.floats(1.0, 100.0)))
+    @settings(max_examples=50, deadline=None)
+    def test_under_bounded_by_100(self, req):
+        assert underprovision_rate(np.zeros(8), req) == pytest.approx(100.0)

@@ -1,0 +1,134 @@
+"""Tests for repro.ml.linear (OLS, ridge, Huber) and repro.ml.neighbors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import HuberRegressor, KNNRegressor, LinearRegression, RidgeRegression
+
+
+@pytest.fixture
+def linear_data(rng):
+    X = rng.uniform(-2, 2, (60, 3))
+    y = X @ np.array([2.0, -1.0, 0.5]) + 3.0
+    return X, y
+
+
+class TestLinearRegression:
+    def test_recovers_exact_coefficients(self, linear_data):
+        X, y = linear_data
+        m = LinearRegression().fit(X, y)
+        np.testing.assert_allclose(m.coef_, [2.0, -1.0, 0.5], atol=1e-10)
+        assert m.intercept_ == pytest.approx(3.0)
+
+    def test_no_intercept(self, rng):
+        X = rng.uniform(-1, 1, (30, 2))
+        y = X @ np.array([1.5, -0.5])
+        m = LinearRegression(fit_intercept=False).fit(X, y)
+        assert m.intercept_ == 0.0
+        np.testing.assert_allclose(m.coef_, [1.5, -0.5], atol=1e-10)
+
+    def test_1d_features(self):
+        m = LinearRegression().fit(np.arange(10.0), 2 * np.arange(10.0))
+        np.testing.assert_allclose(m.predict(np.array([20.0])), [40.0], atol=1e-9)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            LinearRegression().predict(np.zeros((2, 2)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinearRegression().fit(np.zeros((3, 2)), np.zeros(4))
+        with pytest.raises(ValueError):
+            LinearRegression().fit(np.zeros((0, 2)), np.zeros(0))
+
+
+class TestRidge:
+    def test_zero_alpha_matches_ols(self, linear_data):
+        X, y = linear_data
+        ols = LinearRegression().fit(X, y)
+        ridge = RidgeRegression(alpha=0.0).fit(X, y)
+        np.testing.assert_allclose(ridge.coef_, ols.coef_, atol=1e-8)
+
+    def test_shrinkage_monotone(self, linear_data):
+        X, y = linear_data
+        norms = [
+            np.linalg.norm(RidgeRegression(alpha=a).fit(X, y).coef_)
+            for a in (0.0, 1.0, 100.0)
+        ]
+        assert norms[0] >= norms[1] >= norms[2]
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            RidgeRegression(alpha=-1.0)
+
+
+class TestHuber:
+    def test_matches_ols_on_clean_data(self, linear_data):
+        X, y = linear_data
+        h = HuberRegressor().fit(X, y)
+        np.testing.assert_allclose(h.coef_, [2.0, -1.0, 0.5], atol=1e-6)
+
+    def test_robust_to_outliers(self, rng):
+        X = np.linspace(0, 10, 80)[:, None]
+        y = 3.0 * X[:, 0] + 1.0
+        y_corrupt = y.copy()
+        y_corrupt[::8] += 200.0  # 10% gross outliers
+        h = HuberRegressor().fit(X, y_corrupt)
+        ols = LinearRegression().fit(X, y_corrupt)
+        assert abs(h.coef_[0] - 3.0) < 0.1
+        assert abs(ols.coef_[0] - 3.0) > abs(h.coef_[0] - 3.0)
+
+    def test_converges_flag(self, linear_data):
+        X, y = linear_data
+        h = HuberRegressor(max_iter=50).fit(X, y)
+        assert 1 <= h.n_iter_ <= 50
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError):
+            HuberRegressor(delta=0.0)
+
+    @given(slope=st.floats(-5, 5), intercept=st.floats(-5, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_recovers_any_line(self, slope, intercept):
+        X = np.linspace(-3, 3, 40)[:, None]
+        y = slope * X[:, 0] + intercept
+        h = HuberRegressor().fit(X, y)
+        assert h.coef_[0] == pytest.approx(slope, abs=1e-4)
+        assert h.intercept_ == pytest.approx(intercept, abs=1e-4)
+
+
+class TestKNN:
+    def test_exact_neighbor_recall(self, rng):
+        X = rng.uniform(0, 1, (50, 2))
+        y = rng.uniform(0, 1, 50)
+        m = KNNRegressor(k=1).fit(X, y)
+        np.testing.assert_allclose(m.predict(X), y, atol=1e-12)
+
+    def test_k_larger_than_train_clamped(self):
+        m = KNNRegressor(k=10).fit(np.arange(3.0)[:, None], np.array([1.0, 2.0, 3.0]))
+        assert m.predict(np.array([[1.0]]))[0] == pytest.approx(2.0)
+
+    def test_distance_weighting_prefers_closer(self):
+        X = np.array([[0.0], [1.0]])
+        y = np.array([0.0, 10.0])
+        m = KNNRegressor(k=2, weights="distance").fit(X, y)
+        near_zero = m.predict(np.array([[0.1]]))[0]
+        assert near_zero < 5.0
+
+    def test_uniform_weighting_averages(self):
+        X = np.array([[0.0], [1.0]])
+        y = np.array([0.0, 10.0])
+        m = KNNRegressor(k=2, weights="uniform").fit(X, y)
+        assert m.predict(np.array([[0.2]]))[0] == pytest.approx(5.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KNNRegressor(k=0)
+        with pytest.raises(ValueError):
+            KNNRegressor(weights="cosine")
+        with pytest.raises(RuntimeError):
+            KNNRegressor().predict(np.zeros((1, 1)))

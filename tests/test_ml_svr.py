@@ -1,0 +1,82 @@
+"""Tests for the linear and RBF-kernel SVR implementations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml import KernelSVR, LinearSVR
+
+
+class TestLinearSVR:
+    def test_recovers_linear_relation(self, rng):
+        X = rng.uniform(-2, 2, (80, 2))
+        y = X @ np.array([1.0, -2.0]) + 0.5
+        m = LinearSVR(C=10.0, epsilon=0.01).fit(X, y)
+        pred = m.predict(X)
+        assert np.sqrt(np.mean((pred - y) ** 2)) < 0.1
+
+    def test_epsilon_tube_ignores_small_noise(self, rng):
+        """Targets jittered within epsilon should give near-identical fits."""
+        X = rng.uniform(-2, 2, (60, 1))
+        y = 2.0 * X[:, 0]
+        m_clean = LinearSVR(C=1.0, epsilon=0.3).fit(X, y)
+        y_jit = y + rng.uniform(-0.2, 0.2, 60)
+        m_jit = LinearSVR(C=1.0, epsilon=0.3).fit(X, y_jit)
+        p1, p2 = m_clean.predict(X), m_jit.predict(X)
+        assert np.max(np.abs(p1 - p2)) < 0.3
+
+    def test_robust_vs_large_C_sensitivity(self, rng):
+        """Small C regularizes harder → smaller standardized weights."""
+        X = rng.uniform(-2, 2, (50, 3))
+        y = X @ np.array([3.0, 0.0, -1.0])
+        w_small = LinearSVR(C=0.01).fit(X, y).coef_
+        w_large = LinearSVR(C=100.0).fit(X, y).coef_
+        assert np.linalg.norm(w_small) < np.linalg.norm(w_large)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinearSVR(C=0.0)
+        with pytest.raises(ValueError):
+            LinearSVR(epsilon=-0.1)
+        with pytest.raises(RuntimeError):
+            LinearSVR().predict(np.zeros((1, 1)))
+
+
+class TestKernelSVR:
+    def test_fits_nonlinear_function(self, rng):
+        X = rng.uniform(-3, 3, (120, 1))
+        y = np.sin(X[:, 0])
+        m = KernelSVR(C=10.0, epsilon=0.01).fit(X, y)
+        Xt = np.linspace(-3, 3, 50)[:, None]
+        pred = m.predict(Xt)
+        assert np.sqrt(np.mean((pred - np.sin(Xt[:, 0])) ** 2)) < 0.15
+
+    def test_beats_linear_on_nonlinear_target(self, rng):
+        X = rng.uniform(-3, 3, (100, 1))
+        y = np.sin(2 * X[:, 0])
+        lin = LinearSVR(C=1.0).fit(X, y)
+        ker = KernelSVR(C=10.0).fit(X, y)
+        mse_lin = np.mean((lin.predict(X) - y) ** 2)
+        mse_ker = np.mean((ker.predict(X) - y) ** 2)
+        assert mse_ker < mse_lin
+
+    def test_max_samples_subsampling_keeps_recent(self, rng):
+        """With max_samples smaller than n, the model trains on the tail."""
+        X = np.arange(600, dtype=np.float64)[:, None]
+        y = np.where(X[:, 0] < 400, 0.0, 10.0)  # ancient data says 0, recent 10
+        m = KernelSVR(C=10.0, max_samples=100).fit(X, y)
+        assert m.predict(np.array([[599.0]]))[0] > 5.0
+
+    def test_explicit_gamma(self, rng):
+        X = rng.uniform(-1, 1, (40, 2))
+        y = X[:, 0] ** 2
+        m = KernelSVR(C=5.0, gamma=2.0).fit(X, y)
+        assert m._gamma_val == 2.0
+        assert np.mean((m.predict(X) - y) ** 2) < np.var(y)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KernelSVR(C=-1.0)
+        with pytest.raises(RuntimeError):
+            KernelSVR().predict(np.zeros((1, 1)))

@@ -1,0 +1,152 @@
+"""Tests for CART trees and the tree ensembles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.ml import (
+    DecisionTreeRegressor,
+    ExtraTreesRegressor,
+    GradientBoostingRegressor,
+    RandomForestRegressor,
+)
+
+
+@pytest.fixture
+def step_data():
+    """Piecewise-constant target a stump can split perfectly."""
+    X = np.linspace(0, 1, 40)[:, None]
+    y = np.where(X[:, 0] < 0.5, 1.0, 5.0)
+    return X, y
+
+
+class TestDecisionTree:
+    def test_perfect_split_on_step(self, step_data):
+        X, y = step_data
+        t = DecisionTreeRegressor(max_depth=1).fit(X, y)
+        np.testing.assert_allclose(t.predict(X), y)
+        assert t.n_nodes == 3  # root + two leaves
+
+    def test_depth_limit_respected(self, rng):
+        X = rng.uniform(0, 1, (200, 3))
+        y = rng.uniform(0, 1, 200)
+        t = DecisionTreeRegressor(max_depth=3).fit(X, y)
+        assert t.depth_ <= 3
+
+    def test_min_samples_leaf_respected(self, rng):
+        X = rng.uniform(0, 1, (50, 1))
+        y = rng.uniform(0, 1, 50)
+        t = DecisionTreeRegressor(min_samples_leaf=10).fit(X, y)
+        # Every leaf prediction must be the mean of >= 10 samples: check by
+        # counting distinct leaf values vs dataset size upper bound.
+        leaves = {round(v, 12) for v in t.predict(X)}
+        assert len(leaves) <= 5  # 50 samples / 10 per leaf
+
+    def test_constant_target_single_leaf(self):
+        X = np.arange(20.0)[:, None]
+        t = DecisionTreeRegressor().fit(X, np.full(20, 7.0))
+        assert t.n_nodes == 1
+        np.testing.assert_allclose(t.predict(X), 7.0)
+
+    def test_deep_tree_fits_training_data(self, rng):
+        X = rng.uniform(0, 1, (100, 2))
+        y = rng.uniform(0, 1, 100)
+        t = DecisionTreeRegressor(max_depth=None, min_samples_leaf=1).fit(X, y)
+        np.testing.assert_allclose(t.predict(X), y, atol=1e-10)
+
+    def test_random_splitter_works(self, step_data):
+        X, y = step_data
+        t = DecisionTreeRegressor(splitter="random", max_depth=4, seed=3).fit(X, y)
+        assert np.mean((t.predict(X) - y) ** 2) < np.var(y)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(max_depth=0)
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(min_samples_split=1)
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(splitter="hybrid")
+        with pytest.raises(RuntimeError):
+            DecisionTreeRegressor().predict(np.zeros((1, 1)))
+
+    @given(
+        arrays(np.float64, (30, 2), elements=st.floats(-10, 10, width=32)),
+        arrays(np.float64, 30, elements=st.floats(-10, 10, width=32)),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_predictions_within_target_range(self, X, y):
+        """Tree predictions are means of training targets → inside range."""
+        t = DecisionTreeRegressor(max_depth=4).fit(X, y)
+        p = t.predict(X)
+        assert p.min() >= y.min() - 1e-9
+        assert p.max() <= y.max() + 1e-9
+
+    def test_deterministic(self, rng):
+        X = rng.uniform(0, 1, (60, 3))
+        y = rng.uniform(0, 1, 60)
+        a = DecisionTreeRegressor(max_depth=5, seed=1).fit(X, y).predict(X)
+        b = DecisionTreeRegressor(max_depth=5, seed=1).fit(X, y).predict(X)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestEnsembles:
+    @pytest.fixture
+    def nonlinear(self, rng):
+        X = rng.uniform(-2, 2, (150, 2))
+        y = np.sin(2 * X[:, 0]) + 0.5 * X[:, 1] ** 2
+        return X, y
+
+    def test_forest_beats_single_stump(self, nonlinear):
+        X, y = nonlinear
+        stump = DecisionTreeRegressor(max_depth=1).fit(X, y)
+        forest = RandomForestRegressor(n_estimators=20, max_depth=6, seed=0).fit(X, y)
+        mse_stump = np.mean((stump.predict(X) - y) ** 2)
+        mse_forest = np.mean((forest.predict(X) - y) ** 2)
+        assert mse_forest < mse_stump
+
+    def test_extra_trees_fit_predict(self, nonlinear):
+        X, y = nonlinear
+        m = ExtraTreesRegressor(n_estimators=15, max_depth=8, seed=0).fit(X, y)
+        assert np.mean((m.predict(X) - y) ** 2) < np.var(y) * 0.5
+
+    def test_boosting_improves_with_stages(self, nonlinear):
+        X, y = nonlinear
+        m = GradientBoostingRegressor(n_estimators=40, max_depth=2, seed=0).fit(X, y)
+        errs = [np.mean((p - y) ** 2) for p in m.staged_predict(X)]
+        assert errs[-1] < errs[0]
+        assert errs[-1] < np.var(y) * 0.2
+
+    def test_boosting_first_stage_near_mean(self, nonlinear):
+        X, y = nonlinear
+        m = GradientBoostingRegressor(n_estimators=1, learning_rate=0.1, seed=0).fit(X, y)
+        # One small step from the mean: prediction close to global mean.
+        assert np.abs(m.predict(X).mean() - y.mean()) < 0.5
+
+    def test_subsample_stochastic_boosting(self, nonlinear):
+        X, y = nonlinear
+        m = GradientBoostingRegressor(
+            n_estimators=20, subsample=0.5, seed=0
+        ).fit(X, y)
+        assert np.mean((m.predict(X) - y) ** 2) < np.var(y)
+
+    def test_ensemble_determinism(self, nonlinear):
+        X, y = nonlinear
+        a = RandomForestRegressor(n_estimators=5, seed=42).fit(X, y).predict(X)
+        b = RandomForestRegressor(n_estimators=5, seed=42).fit(X, y).predict(X)
+        np.testing.assert_array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomForestRegressor(n_estimators=0)
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor(subsample=1.5)
+        with pytest.raises(RuntimeError):
+            RandomForestRegressor().predict(np.zeros((1, 1)))
+        with pytest.raises(RuntimeError):
+            GradientBoostingRegressor().predict(np.zeros((1, 1)))

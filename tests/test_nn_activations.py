@@ -1,0 +1,100 @@
+"""Tests for repro.nn.activations and repro.nn.initializers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nn.activations import (
+    drelu_from_x,
+    dsigmoid_from_y,
+    dtanh_from_y,
+    relu,
+    sigmoid,
+    tanh,
+)
+from repro.nn.initializers import glorot_uniform, lstm_bias, orthogonal
+
+
+class TestSigmoid:
+    def test_midpoint(self):
+        assert sigmoid(np.array([0.0]))[0] == pytest.approx(0.5)
+
+    def test_no_overflow_extreme_inputs(self):
+        x = np.array([-1e9, 1e9])
+        y = sigmoid(x)
+        assert y[0] == pytest.approx(0.0, abs=1e-15)
+        assert y[1] == pytest.approx(1.0, abs=1e-15)
+        assert np.all(np.isfinite(y))
+
+    @given(arrays(np.float64, 20, elements=st.floats(-1e6, 1e6)))
+    @settings(max_examples=50, deadline=None)
+    def test_range_and_monotonicity(self, x):
+        y = sigmoid(x)
+        assert np.all((y >= 0.0) & (y <= 1.0))
+        order = np.argsort(x)
+        assert np.all(np.diff(y[order]) >= -1e-15)
+
+    def test_derivative_matches_numeric(self):
+        x = np.linspace(-4, 4, 41)
+        eps = 1e-6
+        num = (sigmoid(x + eps) - sigmoid(x - eps)) / (2 * eps)
+        ana = dsigmoid_from_y(sigmoid(x))
+        np.testing.assert_allclose(ana, num, atol=1e-8)
+
+
+class TestTanh:
+    def test_derivative_matches_numeric(self):
+        x = np.linspace(-3, 3, 31)
+        eps = 1e-6
+        num = (tanh(x + eps) - tanh(x - eps)) / (2 * eps)
+        np.testing.assert_allclose(dtanh_from_y(tanh(x)), num, atol=1e-8)
+
+
+class TestRelu:
+    def test_values(self):
+        np.testing.assert_array_equal(
+            relu(np.array([-2.0, 0.0, 3.0])), [0.0, 0.0, 3.0]
+        )
+
+    def test_derivative(self):
+        np.testing.assert_array_equal(
+            drelu_from_x(np.array([-1.0, 0.0, 2.0])), [0.0, 0.0, 1.0]
+        )
+
+
+class TestInitializers:
+    def test_glorot_bounds(self, rng):
+        w = glorot_uniform(rng, 10, 20, (10, 20))
+        limit = np.sqrt(6.0 / 30.0)
+        assert np.all(np.abs(w) <= limit)
+        assert w.shape == (10, 20)
+
+    def test_glorot_invalid_fans(self, rng):
+        with pytest.raises(ValueError):
+            glorot_uniform(rng, 0, 5, (5,))
+
+    def test_orthogonal_square_is_orthogonal(self, rng):
+        q = orthogonal(rng, 16, 16)
+        np.testing.assert_allclose(q @ q.T, np.eye(16), atol=1e-10)
+
+    def test_orthogonal_tall_has_orthonormal_columns(self, rng):
+        q = orthogonal(rng, 20, 8)
+        np.testing.assert_allclose(q.T @ q, np.eye(8), atol=1e-10)
+
+    def test_orthogonal_invalid(self, rng):
+        with pytest.raises(ValueError):
+            orthogonal(rng, 0, 4)
+
+    def test_lstm_bias_forget_gate_slice(self):
+        b = lstm_bias(5, forget_bias=1.0)
+        assert b.shape == (20,)
+        np.testing.assert_array_equal(b[5:10], np.ones(5))
+        assert b[:5].sum() == 0.0 and b[10:].sum() == 0.0
+
+    def test_lstm_bias_invalid(self):
+        with pytest.raises(ValueError):
+            lstm_bias(0)

@@ -1,0 +1,158 @@
+"""Tests for the LSTM layer: shapes, recurrence semantics, and BPTT.
+
+The gradient checks are the load-bearing tests of the whole nn
+substrate: if backward matches numerical differentiation to ~1e-6, the
+training loop is trustworthy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.losses import mse_loss
+from repro.nn.lstm import LSTMLayer
+from repro.nn.network import LSTMRegressor
+
+
+@pytest.fixture
+def layer(rng):
+    return LSTMLayer(input_size=2, hidden_size=4, rng=rng)
+
+
+class TestForward:
+    def test_output_shape(self, layer, rng):
+        x = rng.standard_normal((3, 7, 2))
+        h, cache = layer.forward(x)
+        assert h.shape == (3, 7, 4)
+        assert cache.h.shape == (7, 3, 4)
+
+    def test_hidden_in_tanh_range(self, layer, rng):
+        x = 10.0 * rng.standard_normal((4, 9, 2))
+        h, _ = layer.forward(x)
+        # h = o * tanh(C) with o in (0,1): |h| < 1 always
+        assert np.all(np.abs(h) < 1.0)
+
+    def test_rejects_bad_rank(self, layer, rng):
+        with pytest.raises(ValueError, match="batch, time, features"):
+            layer.forward(rng.standard_normal((3, 7)))
+
+    def test_rejects_wrong_feature_dim(self, layer, rng):
+        with pytest.raises(ValueError, match="input_size"):
+            layer.forward(rng.standard_normal((3, 7, 5)))
+
+    def test_rejects_empty_sequence(self, layer, rng):
+        with pytest.raises(ValueError, match="positive"):
+            layer.forward(rng.standard_normal((3, 0, 2)))
+
+    def test_deterministic(self, rng):
+        x = rng.standard_normal((2, 5, 2))
+        a = LSTMLayer(2, 3, np.random.default_rng(0)).forward(x)[0]
+        b = LSTMLayer(2, 3, np.random.default_rng(0)).forward(x)[0]
+        np.testing.assert_array_equal(a, b)
+
+    def test_initial_state_respected(self, layer, rng):
+        """Non-zero initial states must change the first step's output."""
+        x = rng.standard_normal((2, 3, 2))
+        h_zero, _ = layer.forward(x)
+        h0 = np.full((2, 4), 0.5)
+        c0 = np.full((2, 4), -0.5)
+        h_init, _ = layer.forward(x, h0=h0, c0=c0)
+        assert not np.allclose(h_zero[:, 0, :], h_init[:, 0, :])
+
+    def test_recurrence_prefix_property(self, layer, rng):
+        """Hidden states for a prefix equal the prefix of the full run
+        (causality: future inputs cannot affect past outputs)."""
+        x = rng.standard_normal((2, 8, 2))
+        full, _ = layer.forward(x)
+        prefix, _ = layer.forward(x[:, :5, :])
+        np.testing.assert_allclose(full[:, :5, :], prefix, atol=1e-12)
+
+    def test_batch_independence(self, layer, rng):
+        """Each batch row is processed independently."""
+        x = rng.standard_normal((3, 6, 2))
+        together, _ = layer.forward(x)
+        solo, _ = layer.forward(x[1:2])
+        np.testing.assert_allclose(together[1:2], solo, atol=1e-12)
+
+
+class TestBackward:
+    def test_gradient_check_single_layer(self, rng):
+        layer = LSTMLayer(1, 3, rng)
+        x = rng.standard_normal((4, 6, 1))
+        target = rng.standard_normal((4, 6, 3))
+
+        def loss_of_params():
+            h, _ = layer.forward(x)
+            return 0.5 * float(np.sum((h - target) ** 2))
+
+        h, cache = layer.forward(x)
+        dx, grads = layer.backward(h - target, cache)
+
+        eps = 1e-6
+        for p, g in zip(layer.params, grads, strict=True):
+            flat = p.ravel()
+            gflat = g.ravel()
+            idx = rng.choice(flat.size, size=min(8, flat.size), replace=False)
+            for i in idx:
+                orig = flat[i]
+                flat[i] = orig + eps
+                lp = loss_of_params()
+                flat[i] = orig - eps
+                lm = loss_of_params()
+                flat[i] = orig
+                num = (lp - lm) / (2 * eps)
+                assert num == pytest.approx(gflat[i], rel=1e-4, abs=1e-7)
+
+    def test_gradient_check_input(self, rng):
+        layer = LSTMLayer(2, 3, rng)
+        x = rng.standard_normal((2, 4, 2))
+        target = rng.standard_normal((2, 4, 3))
+        h, cache = layer.forward(x)
+        dx, _ = layer.backward(h - target, cache)
+        eps = 1e-6
+        flat = x.ravel()
+        for i in rng.choice(flat.size, size=6, replace=False):
+            orig = flat[i]
+            flat[i] = orig + eps
+            lp = 0.5 * float(np.sum((layer.forward(x)[0] - target) ** 2))
+            flat[i] = orig - eps
+            lm = 0.5 * float(np.sum((layer.forward(x)[0] - target) ** 2))
+            flat[i] = orig
+            num = (lp - lm) / (2 * eps)
+            assert num == pytest.approx(dx.ravel()[i], rel=1e-4, abs=1e-7)
+
+    def test_backward_shape_validation(self, layer, rng):
+        x = rng.standard_normal((2, 5, 2))
+        _, cache = layer.forward(x)
+        with pytest.raises(ValueError, match="d_h_seq"):
+            layer.backward(np.zeros((2, 5, 7)), cache)
+
+
+class TestRegressorGradients:
+    def test_full_stack_gradient_check(self, rng):
+        """End-to-end: 2-layer LSTM + dense head through the MSE loss."""
+        m = LSTMRegressor(hidden_size=3, num_layers=2, seed=5)
+        x = rng.standard_normal((4, 5, 1))
+        y = rng.standard_normal(4)
+        pred, caches = m._forward(x)
+        _, d_pred = mse_loss(pred, y)
+        grads = m._backward(d_pred, caches, x.shape)
+        params = m.params
+        eps = 1e-6
+        for p, g in zip(params, grads, strict=True):
+            flat, gflat = p.ravel(), g.ravel()
+            for i in rng.choice(flat.size, size=min(4, flat.size), replace=False):
+                orig = flat[i]
+                flat[i] = orig + eps
+                lp, _ = mse_loss(m._forward(x)[0], y)
+                flat[i] = orig - eps
+                lm, _ = mse_loss(m._forward(x)[0], y)
+                flat[i] = orig
+                num = (lp - lm) / (2 * eps)
+                assert num == pytest.approx(gflat[i], rel=1e-3, abs=1e-8)
+
+    def test_param_count(self):
+        m = LSTMRegressor(hidden_size=4, num_layers=1, input_size=1)
+        # LSTM: W(1x16) + U(4x16) + b(16) = 96; head: 4+1 = 5
+        assert m.n_params() == 96 + 5

@@ -1,0 +1,242 @@
+"""Tests for LSTMRegressor training, losses, optimizers, dense layer,
+and model serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    DenseLayer,
+    LSTMRegressor,
+    RMSProp,
+    SGD,
+    huber_loss,
+    load_regressor,
+    mae_loss,
+    make_optimizer,
+    mse_loss,
+    save_regressor,
+)
+from repro.nn.optimizers import clip_gradients
+
+
+def _windows(series: np.ndarray, n: int):
+    X = np.stack([series[i : i + n] for i in range(len(series) - n)])
+    return X, series[n:]
+
+
+class TestLosses:
+    @pytest.mark.parametrize("loss", [mse_loss, mae_loss, huber_loss])
+    def test_zero_at_target(self, loss, rng):
+        y = rng.standard_normal(10)
+        value, grad = loss(y.copy(), y)
+        assert value == pytest.approx(0.0)
+        np.testing.assert_allclose(grad, 0.0, atol=1e-12)
+
+    @pytest.mark.parametrize("loss", [mse_loss, mae_loss, huber_loss])
+    def test_gradient_matches_numeric(self, loss, rng):
+        pred = rng.standard_normal(8)
+        target = rng.standard_normal(8)
+        value, grad = loss(pred, target)
+        eps = 1e-7
+        for i in range(8):
+            p = pred.copy()
+            p[i] += eps
+            lp, _ = loss(p, target)
+            p[i] -= 2 * eps
+            lm, _ = loss(p, target)
+            assert (lp - lm) / (2 * eps) == pytest.approx(grad[i], rel=1e-4, abs=1e-9)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            mse_loss(np.zeros(3), np.zeros(4))
+
+    def test_huber_invalid_delta(self):
+        with pytest.raises(ValueError):
+            huber_loss(np.zeros(2), np.zeros(2), delta=0.0)
+
+
+class TestOptimizers:
+    def _quadratic_descent(self, opt, steps=800):
+        """Minimize ||p||^2 from a fixed start; return final norm."""
+        p = np.array([3.0, -2.0])
+        params = [p]
+        for _ in range(steps):
+            opt.step(params, [2.0 * p])
+        return float(np.linalg.norm(p))
+
+    @pytest.mark.parametrize(
+        "opt,tol",
+        [
+            (SGD(lr=0.05), 1e-2),
+            (SGD(lr=0.05, momentum=0.9), 1e-2),
+            (Adam(lr=0.1), 1e-2),
+            # RMSProp's normalized step oscillates at ~lr amplitude near
+            # the optimum; it reaches the lr-ball, not machine zero.
+            (RMSProp(lr=0.01), 5e-2),
+        ],
+    )
+    def test_converges_on_quadratic(self, opt, tol):
+        assert self._quadratic_descent(opt) < tol
+
+    def test_make_optimizer_registry(self):
+        assert isinstance(make_optimizer("adam", 0.1), Adam)
+        assert isinstance(make_optimizer("SGD", 0.1), SGD)
+        with pytest.raises(ValueError):
+            make_optimizer("adagrad", 0.1)
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            Adam(lr=0.0)
+
+    def test_reset_clears_state(self):
+        opt = Adam(lr=0.1)
+        p = np.ones(2)
+        opt.step([p], [np.ones(2)])
+        assert opt._t == 1
+        opt.reset()
+        assert opt._t == 0 and opt._m is None
+
+    def test_clip_gradients(self):
+        g = [np.array([3.0, 4.0])]  # norm 5
+        norm = clip_gradients(g, max_norm=1.0)
+        assert norm == pytest.approx(5.0)
+        assert np.linalg.norm(g[0]) == pytest.approx(1.0)
+
+    def test_clip_noop_when_small(self):
+        g = [np.array([0.3, 0.4])]
+        clip_gradients(g, max_norm=1.0)
+        np.testing.assert_allclose(g[0], [0.3, 0.4])
+
+    def test_clip_invalid(self):
+        with pytest.raises(ValueError):
+            clip_gradients([np.ones(2)], 0.0)
+
+
+class TestDenseLayer:
+    def test_linear_forward(self, rng):
+        d = DenseLayer(3, 2, rng)
+        x = rng.standard_normal((5, 3))
+        np.testing.assert_allclose(d.forward(x), x @ d.W + d.b)
+
+    def test_backward_before_forward_raises(self, rng):
+        d = DenseLayer(3, 2, rng)
+        with pytest.raises(RuntimeError):
+            d.backward(np.zeros((5, 2)))
+
+    def test_relu_gradient(self, rng):
+        d = DenseLayer(2, 2, rng, activation="relu")
+        x = rng.standard_normal((4, 2))
+        out = d.forward(x)
+        dx, (dW, db) = d.backward(np.ones_like(out))
+        eps = 1e-6
+        for i in range(dW.size):
+            flat = d.W.ravel()
+            orig = flat[i]
+            flat[i] = orig + eps
+            lp = float(d.forward(x).sum())
+            flat[i] = orig - eps
+            lm = float(d.forward(x).sum())
+            flat[i] = orig
+            assert (lp - lm) / (2 * eps) == pytest.approx(
+                dW.ravel()[i], rel=1e-4, abs=1e-8
+            )
+
+    def test_invalid_activation(self, rng):
+        with pytest.raises(ValueError):
+            DenseLayer(2, 2, rng, activation="gelu")
+
+
+class TestTraining:
+    def test_learns_sine(self, sine_series):
+        X, y = _windows((sine_series - 100.0) / 50.0, 12)
+        m = LSTMRegressor(hidden_size=10, num_layers=1, seed=0)
+        hist = m.fit(X[:180], y[:180], epochs=25, batch_size=32, lr=0.01)
+        pred = m.predict(X[180:])
+        rmse = float(np.sqrt(np.mean((pred - y[180:]) ** 2)))
+        assert rmse < 0.15  # ~7 units of an 80-unit swing
+        assert hist.train_loss[-1] < hist.train_loss[0]
+
+    def test_training_is_deterministic(self, sine_series):
+        X, y = _windows(sine_series / 150.0, 8)
+
+        def train():
+            m = LSTMRegressor(hidden_size=6, seed=3)
+            m.fit(X, y, epochs=3, batch_size=16, lr=0.01)
+            return m.predict(X[:5])
+
+        np.testing.assert_array_equal(train(), train())
+
+    def test_early_stopping_restores_best(self, sine_series):
+        X, y = _windows(sine_series / 150.0, 8)
+        m = LSTMRegressor(hidden_size=6, seed=1)
+        hist = m.fit(
+            X[:150], y[:150],
+            epochs=200, batch_size=32, lr=0.05,
+            validation=(X[150:], y[150:]), patience=3,
+        )
+        assert hist.epochs_run < 200  # stopped early
+        assert hist.best_epoch >= 0
+
+    def test_validation_loss_tracked(self, sine_series):
+        X, y = _windows(sine_series / 150.0, 8)
+        m = LSTMRegressor(hidden_size=4, seed=1)
+        hist = m.fit(X[:100], y[:100], epochs=4, validation=(X[100:], y[100:]),
+                     patience=100)
+        assert len(hist.val_loss) == hist.epochs_run
+
+    def test_2d_input_accepted(self, rng):
+        X = rng.standard_normal((20, 5))
+        y = rng.standard_normal(20)
+        m = LSTMRegressor(hidden_size=3, seed=0)
+        m.fit(X, y, epochs=2)
+        assert m.predict(X).shape == (20,)
+
+    def test_batch_size_clamped(self, rng):
+        X = rng.standard_normal((10, 4, 1))
+        y = rng.standard_normal(10)
+        m = LSTMRegressor(hidden_size=3, seed=0)
+        m.fit(X, y, epochs=2, batch_size=10_000)  # must not crash
+
+    def test_mismatched_lengths_raise(self, rng):
+        m = LSTMRegressor(hidden_size=3)
+        with pytest.raises(ValueError, match="windows but"):
+            m.fit(rng.standard_normal((5, 4, 1)), np.zeros(6))
+
+    def test_empty_fit_raises(self):
+        m = LSTMRegressor(hidden_size=3)
+        with pytest.raises(ValueError):
+            m.fit(np.empty((0, 4, 1)), np.empty(0))
+
+    def test_bad_loss_name(self, rng):
+        m = LSTMRegressor(hidden_size=3)
+        with pytest.raises(ValueError, match="unknown loss"):
+            m.fit(rng.standard_normal((5, 4, 1)), np.zeros(5), loss="l0")
+
+    def test_invalid_layer_count(self):
+        with pytest.raises(ValueError):
+            LSTMRegressor(hidden_size=3, num_layers=0)
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_predictions(self, tmp_path, rng):
+        m = LSTMRegressor(hidden_size=5, num_layers=2, seed=9)
+        X = rng.standard_normal((7, 6, 1))
+        path = save_regressor(m, tmp_path / "model")
+        assert path.suffix == ".npz"
+        m2 = load_regressor(path)
+        np.testing.assert_array_equal(m.predict(X), m2.predict(X))
+        assert m2.config() == m.config()
+
+    def test_missing_array_detected(self, tmp_path):
+        m = LSTMRegressor(hidden_size=3, seed=0)
+        path = save_regressor(m, tmp_path / "m.npz")
+        import numpy as np_
+
+        data = dict(np_.load(path))
+        del data["param_0"]
+        np_.savez(path, **data)
+        with pytest.raises(ValueError, match="missing array"):
+            load_regressor(path)

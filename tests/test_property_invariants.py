@@ -1,0 +1,145 @@
+"""Cross-module property-based tests (hypothesis).
+
+Each property here is an invariant the experiment pipeline silently
+relies on; violating any of them would corrupt results without crashing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.autoscale import CloudSimulator, VMSpec
+from repro.baselines import walk_forward
+from repro.baselines.base import Predictor
+from repro.core import MinMaxScaler, make_windows, windows_for_range
+from repro.metrics import mape
+from repro.nn import LSTMRegressor
+
+# Positive, non-degenerate JAR-like series.
+jar_series = arrays(
+    np.float64,
+    st.integers(30, 80),
+    elements=st.floats(1.0, 1e5, allow_nan=False),
+)
+
+
+class TestScalingWindowingPipeline:
+    @given(series=jar_series, n=st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_scale_then_window_equals_window_then_scale(self, series, n):
+        """Min-max scaling is affine, so it commutes with windowing."""
+        if len(series) <= n + 2 or series.max() == series.min():
+            return
+        scaler = MinMaxScaler().fit(series)
+        Xa, ya = make_windows(scaler.transform(series), n)
+        Xb, yb = make_windows(series, n)
+        np.testing.assert_allclose(Xa, scaler.transform(Xb), atol=1e-10)
+        np.testing.assert_allclose(ya, scaler.transform(yb), atol=1e-10)
+
+    @given(series=jar_series, n=st.integers(1, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_windows_for_range_is_suffix_of_make_windows(self, series, n):
+        """Targets >= n: windows_for_range(start) is a suffix slice of the
+        full supervised set."""
+        if len(series) <= n + 4:
+            return
+        start = len(series) - 3
+        X_all, y_all = make_windows(series, n)
+        X_r, y_r = windows_for_range(series, n, start)
+        np.testing.assert_array_equal(X_r, X_all[start - n :])
+        np.testing.assert_array_equal(y_r, y_all[start - n :])
+
+
+class _ConstantPredictor(Predictor):
+    """Always predicts a fixed value (possibly invalid)."""
+
+    def __init__(self, value: float):
+        self.value = value
+
+    def predict_next(self, history):
+        return self.value
+
+
+class TestWalkForwardContracts:
+    @given(
+        series=jar_series,
+        value=st.floats(allow_nan=True, allow_infinity=True),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_outputs_always_finite_nonnegative(self, series, value):
+        start = len(series) // 2
+        preds = walk_forward(_ConstantPredictor(value), series, start)
+        assert preds.shape == (len(series) - start,)
+        assert np.all(np.isfinite(preds))
+        assert np.all(preds >= 0.0)
+
+    @given(series=jar_series)
+    @settings(max_examples=20, deadline=None)
+    def test_persistence_mape_matches_manual(self, series):
+        class Persist(Predictor):
+            def predict_next(self, history):
+                return float(history[-1])
+
+        start = len(series) // 2
+        preds = walk_forward(Persist(), series, start)
+        np.testing.assert_array_equal(preds, series[start - 1 : -1])
+        manual = mape(series[start - 1 : -1], series[start:])
+        assert mape(preds, series[start:]) == pytest.approx(manual)
+
+
+class TestSimulatorInvariants:
+    @given(
+        arrivals=arrays(np.float64, 12, elements=st.floats(0, 50)),
+        provisioned=arrays(np.float64, 12, elements=st.floats(0, 50)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_provisioning_accounting_identity(self, arrivals, provisioned):
+        sim = CloudSimulator(spec=VMSpec(job_jitter_frac=0.0), seed=0)
+        res = sim.run(arrivals, provisioned)
+        np.testing.assert_allclose(
+            res.under_provisioned + res.over_provisioned,
+            np.abs(res.provisioned - res.arrivals),
+        )
+        assert res.vm_seconds >= 0.0
+
+    @given(arrivals=arrays(np.float64, 10, elements=st.floats(0, 40)))
+    @settings(max_examples=40, deadline=None)
+    def test_more_provisioning_never_slows_jobs(self, arrivals):
+        """Adding VMs can only reduce (or keep) turnaround."""
+        spec = VMSpec(job_jitter_frac=0.0)
+        a = CloudSimulator(spec=spec, seed=1).run(arrivals, np.ceil(arrivals))
+        b = CloudSimulator(spec=spec, seed=1).run(arrivals, np.zeros_like(arrivals))
+        busy = a.arrivals > 0
+        assert np.all(
+            a.turnaround_seconds[busy] <= b.turnaround_seconds[busy] + 1e-9
+        )
+
+
+class TestLSTMInvariants:
+    @given(
+        batch=st.integers(1, 4),
+        time=st.integers(1, 6),
+        hidden=st.integers(1, 6),
+        layers=st.integers(1, 2),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_forward_shape_contract(self, batch, time, hidden, layers):
+        rng = np.random.default_rng(0)
+        m = LSTMRegressor(hidden_size=hidden, num_layers=layers, seed=1)
+        x = rng.standard_normal((batch, time, 1))
+        out = m.predict(x)
+        assert out.shape == (batch,)
+        assert np.all(np.isfinite(out))
+
+    @given(scale=st.floats(0.1, 100.0))
+    @settings(max_examples=20, deadline=None)
+    def test_prediction_finite_under_input_scaling(self, scale):
+        """Gate saturation must never produce non-finite outputs."""
+        rng = np.random.default_rng(2)
+        m = LSTMRegressor(hidden_size=4, seed=3)
+        x = scale * rng.standard_normal((3, 5, 1))
+        assert np.all(np.isfinite(m.predict(x)))

@@ -1,0 +1,68 @@
+"""Tests for the markdown report generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import LSTMHyperparameters
+from repro.core.framework import FitReport
+from repro.experiments.fig9 import Fig9Result
+from repro.experiments.reporting import fig9_report, full_report, rows_to_markdown
+
+
+@pytest.fixture
+def fig9():
+    result = Fig9Result()
+    result.rows = [
+        {"workload": "fb-10m", "loaddynamics": 40.0, "wood": 60.0},
+        {"workload": "fb-5m", "loaddynamics": 50.0, "wood": 70.0},
+    ]
+    for key, n in (("fb-10m", 4), ("fb-5m", 8)):
+        result.reports[key] = FitReport(
+            best_hyperparameters=LSTMHyperparameters(n, 8, 1, 16),
+            best_validation_mape=42.0,
+        )
+    return result
+
+
+class TestRowsToMarkdown:
+    def test_table_structure(self):
+        md = rows_to_markdown([{"a": 1.234, "b": "x"}, {"a": 2.0, "b": "y"}])
+        lines = md.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert "1.23" in lines[2]
+        assert len(lines) == 4
+
+    def test_column_selection(self):
+        md = rows_to_markdown([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in md.splitlines()[0]
+
+    def test_empty(self):
+        assert rows_to_markdown([]) == "*(no rows)*"
+
+    def test_missing_cell_blank(self):
+        md = rows_to_markdown([{"a": 1}, {"a": 2, "b": 3}], columns=["a", "b"])
+        assert "|  |" in md.splitlines()[2]
+
+
+class TestFig9Report:
+    def test_contains_rows_average_and_table4(self, fig9):
+        md = fig9_report(fig9)
+        assert "fb-10m" in md and "AVG" in md
+        assert "Table IV" in md
+        assert "4-8" in md  # history_len min-max across the two configs
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fig9_report(Fig9Result())
+
+
+class TestFullReport:
+    def test_stitches_sections(self, fig9):
+        doc = full_report({"Accuracy": fig9_report(fig9), "Notes": "all good"})
+        assert doc.startswith("# Reproduction report")
+        assert "## Notes" in doc
+        assert "all good" in doc
+        # A section that is already a heading is not double-wrapped.
+        assert "## ## " not in doc

@@ -1,0 +1,204 @@
+"""Tests for the trace substrate: generators, aggregation, splits, registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traces import (
+    ALL_CONFIGURATIONS,
+    TRACE_NAMES,
+    WorkloadConfig,
+    WorkloadTrace,
+    aggregate,
+    azure_trace,
+    facebook_trace,
+    get_configuration,
+    get_trace,
+    google_trace,
+    lcg_trace,
+    list_configurations,
+    train_val_test_split,
+    wikipedia_trace,
+)
+
+GENERATORS = {
+    "wiki": wikipedia_trace,
+    "gl": google_trace,
+    "fb": facebook_trace,
+    "az": azure_trace,
+    "lcg": lcg_trace,
+}
+
+
+class TestAggregate:
+    def test_sums_buckets(self):
+        base = np.arange(12.0)
+        out = aggregate(base, 4)
+        np.testing.assert_array_equal(out, [6.0, 22.0, 38.0])
+
+    def test_drops_trailing_partial(self):
+        out = aggregate(np.ones(10), 4)
+        assert out.shape == (2,)
+
+    def test_identity_at_one_minute(self):
+        base = np.arange(5.0)
+        np.testing.assert_array_equal(aggregate(base, 1), base)
+
+    def test_conservation_of_mass(self, rng):
+        base = rng.poisson(10, size=600).astype(float)
+        out = aggregate(base, 30)
+        assert out.sum() == pytest.approx(base[: 20 * 30].sum())
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValueError, match="too short"):
+            aggregate(np.ones(5), 10)
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            aggregate(np.ones(5), 0)
+
+    @given(
+        interval=st.sampled_from([5, 10, 30, 60]),
+        n=st.integers(60, 300),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_length_formula(self, interval, n):
+        out = aggregate(np.ones(n), interval)
+        assert out.shape == (n // interval,)
+
+
+class TestSplit:
+    def test_60_20_20_lengths(self):
+        s = np.arange(100.0)
+        tr, va, te = train_val_test_split(s)
+        assert (len(tr), len(va), len(te)) == (60, 20, 20)
+
+    def test_chronological_order_preserved(self):
+        s = np.arange(50.0)
+        tr, va, te = train_val_test_split(s)
+        np.testing.assert_array_equal(np.concatenate([tr, va, te]), s)
+
+    def test_custom_fractions(self):
+        tr, va, te = train_val_test_split(np.arange(100.0), 0.5, 0.25)
+        assert (len(tr), len(va), len(te)) == (50, 25, 25)
+
+    def test_invalid_fractions(self):
+        with pytest.raises(ValueError):
+            train_val_test_split(np.arange(10.0), 0.8, 0.3)
+        with pytest.raises(ValueError):
+            train_val_test_split(np.arange(10.0), 0.0, 0.2)
+
+    def test_too_short(self):
+        with pytest.raises(ValueError, match="too short"):
+            train_val_test_split(np.arange(2.0))
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("name,gen", GENERATORS.items())
+    def test_nonnegative_and_deterministic(self, name, gen):
+        a = gen(seed=5)
+        b = gen(seed=5)
+        assert np.all(a.counts >= 0)
+        np.testing.assert_array_equal(a.counts, b.counts)
+        assert a.name == name
+
+    @pytest.mark.parametrize("gen", GENERATORS.values())
+    def test_different_seeds_differ(self, gen):
+        assert not np.array_equal(gen(seed=1).counts, gen(seed=2).counts)
+
+    def test_wikipedia_magnitude_and_seasonality(self):
+        t = wikipedia_trace()
+        jars = t.at_interval(30)
+        assert 3e6 < jars.mean() < 8e6  # paper: ~5.4M per 30-min interval
+        # Strong daily autocorrelation at lag 48 (= 24h of 30-min intervals).
+        x = jars - jars.mean()
+        ac48 = float(np.dot(x[:-48], x[48:]) / np.dot(x, x))
+        assert ac48 > 0.5
+
+    def test_google_magnitude_and_spiky_first_half(self):
+        t = google_trace()
+        jars = t.at_interval(30)
+        assert 3e5 < jars.mean() < 3e6
+        half = len(t.counts) // 2
+        # Spikes live in the first half → heavier right tail there.
+        p99_first = np.percentile(t.counts[:half], 99.5)
+        p99_second = np.percentile(t.counts[half:], 99.5)
+        med_first = np.median(t.counts[:half])
+        med_second = np.median(t.counts[half:])
+        assert p99_first / med_first > p99_second / med_second
+
+    def test_facebook_is_one_day_and_bursty(self):
+        t = facebook_trace()
+        assert t.minutes == 1440
+        jars = t.at_interval(5)
+        assert jars.std() / jars.mean() > 0.5  # high fluctuation
+
+    def test_azure_regime_change(self):
+        t = azure_trace()
+        jars = t.at_interval(60)
+        n = len(jars)
+        early = jars[: int(0.4 * n)].mean()
+        late = jars[int(0.75 * n) :].mean()
+        assert late > 1.25 * early  # the regime ramp
+
+    def test_lcg_bursts_present(self):
+        t = lcg_trace()
+        jars = t.at_interval(30)
+        assert jars.max() > 2.5 * np.median(jars)
+
+    @pytest.mark.parametrize("gen", GENERATORS.values())
+    def test_days_validation(self, gen):
+        with pytest.raises(ValueError):
+            gen(days=0)
+
+
+class TestWorkloadTrace:
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError):
+            WorkloadTrace("x", np.array([1.0, -2.0]), "Web")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            WorkloadTrace("x", np.array([]), "Web")
+
+
+class TestRegistry:
+    def test_exactly_14_configurations(self):
+        assert len(ALL_CONFIGURATIONS) == 14
+        assert len(list_configurations()) == 14
+
+    def test_table1_intervals(self):
+        expected = {
+            "wiki": {5, 10, 30},
+            "lcg": {5, 10, 30},
+            "az": {10, 30, 60},
+            "gl": {5, 10, 30},
+            "fb": {5, 10},
+        }
+        for trace in TRACE_NAMES:
+            got = {
+                c.interval_minutes
+                for c in ALL_CONFIGURATIONS
+                if c.trace_name == trace
+            }
+            assert got == expected[trace], trace
+
+    def test_get_configuration_roundtrip(self):
+        cfg = get_configuration("gl-30m")
+        assert cfg == WorkloadConfig("gl", 30)
+        series = cfg.load()
+        assert len(series) > 100
+
+    def test_unknown_keys(self):
+        with pytest.raises(ValueError):
+            get_configuration("gl-7m")
+        with pytest.raises(ValueError):
+            get_trace("alibaba")
+
+    def test_trace_caching(self):
+        a = get_trace("wiki")
+        b = get_trace("wiki")
+        assert a is b

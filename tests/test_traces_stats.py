@@ -1,0 +1,142 @@
+"""Tests for workload characterization statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.traces.stats import (
+    autocorrelation,
+    burstiness,
+    characterize,
+    coefficient_of_variation,
+    dominant_period,
+    hurst_exponent,
+    peak_to_median,
+    seasonality_strength,
+    trend_slope,
+)
+
+
+@pytest.fixture
+def sine():
+    t = np.arange(480)
+    return 100 + 50 * np.sin(2 * np.pi * t / 24)
+
+
+class TestAutocorrelation:
+    def test_periodic_peak(self, sine):
+        # Biased estimator: perfect periodicity gives (1 - lag/n).
+        assert autocorrelation(sine, 24) == pytest.approx(1.0 - 24 / 480, abs=1e-6)
+        assert autocorrelation(sine, 12) == pytest.approx(-(1.0 - 12 / 480), abs=1e-6)
+
+    def test_noise_near_zero(self, rng):
+        s = rng.standard_normal(2000)
+        assert abs(autocorrelation(s, 5)) < 0.1
+
+    def test_constant_series(self):
+        assert autocorrelation(np.full(50, 3.0), 5) == 0.0
+
+    def test_lag_validation(self, sine):
+        with pytest.raises(ValueError):
+            autocorrelation(sine, 0)
+        assert autocorrelation(sine[:10], 9) == 0.0
+
+
+class TestSeasonality:
+    def test_pure_sine_is_fully_seasonal(self, sine):
+        assert seasonality_strength(sine, 24) == pytest.approx(1.0, abs=1e-9)
+
+    def test_noise_is_not(self, rng):
+        assert seasonality_strength(rng.standard_normal(960), 24) < 0.2
+
+    def test_wrong_period_scores_low(self, sine):
+        assert seasonality_strength(sine, 17) < 0.3
+
+    def test_period_validation(self, sine):
+        with pytest.raises(ValueError):
+            seasonality_strength(sine, 1)
+
+
+class TestDominantPeriod:
+    def test_recovers_sine_period(self, sine):
+        assert dominant_period(sine) == 24
+
+    def test_constant_has_none(self):
+        assert dominant_period(np.full(100, 2.0)) is None
+
+    def test_max_period_filter(self, sine):
+        assert dominant_period(sine, max_period=10) is None
+
+
+class TestScalars:
+    def test_burstiness_regular_vs_bursty(self):
+        regular = np.full(100, 10.0)
+        assert burstiness(regular) == pytest.approx(-1.0)
+        bursty = np.zeros(100)
+        bursty[::10] = 100.0
+        assert burstiness(bursty) > 0.2
+
+    def test_cv_known(self):
+        s = np.array([5.0, 15.0, 5.0, 15.0])  # mean 10, std 5
+        assert coefficient_of_variation(s) == pytest.approx(0.5)
+
+    def test_peak_to_median(self):
+        s = np.ones(99)
+        s[0] = 10.0
+        assert peak_to_median(s) == pytest.approx(10.0)
+
+    def test_trend_slope_direction(self):
+        up = np.linspace(10, 20, 100)
+        down = np.linspace(20, 10, 100)
+        assert trend_slope(up) > 0.5
+        assert trend_slope(down) < -0.5
+        assert abs(trend_slope(np.full(50, 7.0))) < 1e-9
+
+    @given(arrays(np.float64, st.integers(3, 60), elements=st.floats(0.0, 1e6)))
+    @settings(max_examples=40, deadline=None)
+    def test_burstiness_bounded(self, s):
+        assert -1.0 <= burstiness(s) <= 1.0
+
+
+class TestHurst:
+    def test_random_walk_is_persistent(self, rng):
+        walk = np.cumsum(rng.standard_normal(4096))
+        assert hurst_exponent(walk) > 0.8
+
+    def test_white_noise_near_half(self, rng):
+        noise = rng.standard_normal(4096)
+        assert 0.3 < hurst_exponent(noise) < 0.7
+
+    def test_short_series_defaults(self):
+        assert hurst_exponent(np.arange(10.0)) == 0.5
+
+    def test_clamped(self, rng):
+        assert 0.0 <= hurst_exponent(rng.standard_normal(512)) <= 1.0
+
+
+class TestCharacterize:
+    def test_full_report_keys(self, sine):
+        rep = characterize(sine, daily_period=24)
+        for key in ("n", "mean", "cv", "burstiness", "peak_to_median",
+                    "trend_slope", "hurst", "dominant_period",
+                    "daily_autocorr", "daily_seasonality"):
+            assert key in rep
+        assert rep["dominant_period"] == 24
+        assert rep["daily_seasonality"] == pytest.approx(1.0, abs=1e-9)
+
+    def test_distinguishes_builtin_traces(self):
+        """Wikipedia must characterize as seasonal; Google as not."""
+        from repro.traces import get_trace
+
+        wiki = characterize(get_trace("wiki").at_interval(30), daily_period=48)
+        gl = characterize(get_trace("gl").at_interval(30), daily_period=48)
+        assert wiki["daily_seasonality"] > 0.5
+        assert gl["daily_seasonality"] < wiki["daily_seasonality"]
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValueError):
+            characterize(np.array([1.0, 2.0]))
