@@ -5,16 +5,55 @@ then benchmarks the deployed one-step-ahead path
 (:meth:`LoadDynamicsPredictor.predict_next`) and the batched test-window
 path.  Also microbenchmarks the raw LSTM forward pass and a training
 step, the substrate costs everything else inherits.
+
+Every measurement is recorded through :mod:`repro.obs` metrics under
+``bench.inference.*`` and the module dumps a machine-readable
+``BENCH_inference.json`` artifact at the repo root — the perf
+trajectory future optimization PRs diff against.
 """
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.core import FrameworkSettings, LoadDynamics, search_space_for
 from repro.nn import LSTMRegressor
 from repro.traces import get_configuration
+
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_inference.json"
+
+
+def _record(name: str, benchmark) -> None:
+    """Mirror pytest-benchmark stats into the obs metrics registry."""
+    stats = benchmark.stats
+    hist = obs.histogram(f"bench.inference.{name}_ms")
+    for key in ("min", "mean", "max"):
+        hist.observe(stats[key] * 1e3)
+    obs.gauge(f"bench.inference.{name}_mean_ms").set(stats["mean"] * 1e3)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def bench_artifact():
+    """Write the ``bench.inference.*`` metrics to BENCH_inference.json."""
+    yield
+    report = obs.summary()
+    metrics = {
+        name: snap
+        for name, snap in report["metrics"].items()
+        if name.startswith("bench.inference.")
+    }
+    if not metrics:
+        return
+    ARTIFACT.write_text(
+        json.dumps({"schema": report["schema"], "metrics": metrics}, indent=2)
+        + "\n",
+        encoding="utf-8",
+    )
 
 
 @pytest.fixture(scope="module")
@@ -32,6 +71,7 @@ def test_predict_next_latency(benchmark, deployed):
     predictor, series = deployed
     value = benchmark(predictor.predict_next, series)
     assert np.isfinite(value)
+    _record("predict_next", benchmark)
     mean_ms = benchmark.stats["mean"] * 1e3
     print(f"\n[§IV-B] one-step inference: {mean_ms:.3f} ms "
           f"(paper claims < 4.78 ms)")
@@ -43,7 +83,9 @@ def test_batched_prediction_throughput(benchmark, deployed):
     start = len(series) - 150
     preds = benchmark(predictor.predict_series, series, start)
     assert preds.shape == (150,)
+    _record("predict_series_150", benchmark)
     per_interval_ms = benchmark.stats["mean"] * 1e3 / 150
+    obs.gauge("bench.inference.predict_series_per_interval_ms").set(per_interval_ms)
     print(f"\n[§IV-B] batched inference: {per_interval_ms:.4f} ms/interval")
 
 
@@ -53,6 +95,7 @@ def test_lstm_forward_microbench(benchmark, rng_seed=3):
     x = rng.standard_normal((64, 48, 1))
     out = benchmark(model.predict, x)
     assert out.shape == (64,)
+    _record("lstm_forward_64x48", benchmark)
 
 
 def test_lstm_training_step_microbench(benchmark):
@@ -66,3 +109,4 @@ def test_lstm_training_step_microbench(benchmark):
         return model
 
     benchmark.pedantic(one_epoch, rounds=3, iterations=1)
+    _record("train_epoch_128x24", benchmark)

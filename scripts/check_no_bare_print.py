@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Lint: forbid bare ``print(...)`` calls inside ``src/repro``.
+
+Diagnostics belong on the namespaced ``repro.*`` loggers
+(:mod:`repro.obs.logging`); only the CLI (``cli.py``) talks to stdout
+directly, because its tables *are* the user-facing product.  The check
+is AST-based so comments and strings mentioning ``print(`` don't trip
+it.
+
+Exit status: 0 when clean, 1 with a ``path:line`` listing otherwise.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+#: Files allowed to print: the CLI's aligned tables are stdout output.
+ALLOWED = {"cli.py"}
+
+
+def find_prints(path: Path) -> list[int]:
+    """Line numbers of ``print(...)`` calls in a Python source file."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    lines = []
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+        ):
+            lines.append(node.lineno)
+    return lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    root = Path(__file__).resolve().parent.parent / "src" / "repro"
+    if argv:
+        root = Path(argv[0])
+    violations: list[str] = []
+    for path in sorted(root.rglob("*.py")):
+        if path.name in ALLOWED:
+            continue
+        for lineno in find_prints(path):
+            violations.append(f"{path}:{lineno}")
+    if violations:
+        sys.stderr.write(
+            "bare print() calls found (use repro.obs.logging.get_logger):\n"
+        )
+        for v in violations:
+            sys.stderr.write(f"  {v}\n")
+        return 1
+    print(f"OK: no bare print() under {root} (outside {sorted(ALLOWED)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Single CI entrypoint: lint + tier-1 test suite.
+#
+#   scripts/ci.sh            # everything
+#   scripts/ci.sh --lint     # lint only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== lint: no bare print() in src/repro =="
+python scripts/check_no_bare_print.py
+
+if [[ "${1:-}" == "--lint" ]]; then
+    exit 0
+fi
+
+echo "== tier-1 tests =="
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -x -q

@@ -28,9 +28,11 @@ Subpackages (see DESIGN.md for the full inventory):
 ``repro.traces``       synthetic stand-ins for the five public traces
 ``repro.autoscale``    cloud simulator + predictive auto-scaling policies
 ``repro.experiments``  one runner per paper table/figure
+``repro.obs``          observability: events, metrics, spans, loggers
 =====================  ====================================================
 """
 
+from repro import obs
 from repro.core import (
     FrameworkSettings,
     LoadDynamics,
@@ -53,5 +55,6 @@ __all__ = [
     "mae",
     "mse",
     "rmse",
+    "obs",
     "__version__",
 ]

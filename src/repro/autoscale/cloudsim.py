@@ -22,6 +22,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs import events as _events
+from repro.obs import metrics as _metrics
+
 __all__ = ["VMSpec", "SimulationResult", "CloudSimulator"]
 
 
@@ -125,6 +128,10 @@ class CloudSimulator:
         over = np.maximum(p - a, 0).astype(np.float64)
         vm_seconds = 0.0
 
+        # Per-step scaling-decision telemetry costs one branch per
+        # interval when no event sink is registered.
+        trace = _events.enabled()
+
         for i in range(n):
             jobs = int(a[i])
             warm = min(jobs, int(p[i]))
@@ -132,6 +139,12 @@ class CloudSimulator:
             if jobs == 0:
                 # Idle interval: surplus VMs still cost for the full interval.
                 vm_seconds += float(p[i]) * spec.job_seconds
+                if trace:
+                    _events.emit(
+                        "autoscale.step", interval=i, arrivals=0,
+                        provisioned=int(p[i]), cold_starts=0,
+                        idle_vms=int(p[i]), turnaround_s=0.0,
+                    )
                 continue
             durations = spec.job_seconds * (
                 1.0
@@ -150,6 +163,21 @@ class CloudSimulator:
             # plus idle surplus for a nominal job-length lease.
             vm_seconds += float(np.sum(completion))
             vm_seconds += float(over[i]) * spec.job_seconds
+            if trace:
+                _events.emit(
+                    "autoscale.step", interval=i, arrivals=jobs,
+                    provisioned=int(p[i]), cold_starts=cold,
+                    idle_vms=int(over[i]), turnaround_s=turnaround[i],
+                    makespan_s=makespan[i],
+                )
+
+        m = _metrics
+        m.counter("autoscale.intervals").inc(n)
+        m.counter("autoscale.cold_starts").inc(float(np.sum(under)))
+        m.counter("autoscale.idle_vm_intervals").inc(float(np.sum(over)))
+        m.histogram("autoscale.turnaround_seconds").observe_many(
+            turnaround[a > 0].tolist()
+        )
         return SimulationResult(
             arrivals=a.astype(np.float64),
             provisioned=p.astype(np.float64),

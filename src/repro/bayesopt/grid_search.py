@@ -12,7 +12,7 @@ from typing import Callable
 
 import numpy as np
 
-from repro.bayesopt.optimizer import TrialRecord
+from repro.bayesopt.optimizer import TrialRecord, record_trial, unpack_objective
 from repro.bayesopt.space import SearchSpace
 
 __all__ = ["GridSearch"]
@@ -79,6 +79,7 @@ class GridSearch:
             iteration=self.n_trials, config=dict(config), value=float(value), metadata=metadata
         )
         self.history.append(record)
+        record_trial(record, optimizer="grid")
         return record
 
     def run(
@@ -95,7 +96,8 @@ class GridSearch:
             if self.exhausted:
                 break
             config = self.suggest()
-            record = self.tell(config, objective(config))
+            value, meta = unpack_objective(objective(config))
+            record = self.tell(config, value, **meta)
             if callback is not None:
                 callback(record)
         return self.best_record

@@ -17,6 +17,7 @@ deduplicated against history (integer rounding collapses nearby points).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -26,8 +27,46 @@ from scipy.optimize import minimize
 from repro.bayesopt.acquisition import ACQUISITIONS
 from repro.bayesopt.space import SearchSpace
 from repro.gp import GaussianProcessRegressor, Matern52
+from repro.obs import events as _events
+from repro.obs import metrics as _metrics
+from repro.obs.logging import get_logger
 
-__all__ = ["BayesianOptimizer", "TrialRecord"]
+__all__ = ["BayesianOptimizer", "TrialRecord", "unpack_objective", "record_trial"]
+
+logger = get_logger("bayesopt")
+
+
+def unpack_objective(out) -> tuple[float, dict]:
+    """Normalize an objective return value.
+
+    Objectives may return a bare float or ``(value, metadata)`` — the
+    metadata dict is attached to the :class:`TrialRecord` via ``tell``.
+    """
+    if isinstance(out, tuple):
+        value, meta = out
+        return float(value), dict(meta)
+    return float(out), {}
+
+
+def record_trial(record: "TrialRecord", optimizer: str) -> None:
+    """Per-trial telemetry shared by all search optimizers.
+
+    Counts the trial, tracks the objective distribution, and — when an
+    event sink is registered — emits one ``bo.trial`` record carrying
+    the suggested config, the objective value, and whatever metadata the
+    caller attached (timings, epochs run, early-stop flags, ...).
+    """
+    _metrics.counter("bo.trials").inc()
+    _metrics.histogram("bo.objective").observe(record.value)
+    if _events.enabled():
+        _events.emit(
+            "bo.trial",
+            optimizer=optimizer,
+            iteration=record.iteration,
+            config=dict(record.config),
+            value=record.value,
+            **record.metadata,
+        )
 
 
 @dataclass
@@ -90,6 +129,10 @@ class BayesianOptimizer:
         self._X: list[np.ndarray] = []
         self._y: list[float] = []
         self._pending: dict | None = None
+        #: Timings of the most recent :meth:`suggest`, attached to the
+        #: next :meth:`tell`'s record so every trial carries the cost of
+        #: proposing it (surrogate fit + acquisition optimization).
+        self._suggest_timings: dict = {}
 
     # ------------------------------------------------------------------
     # state
@@ -118,6 +161,7 @@ class BayesianOptimizer:
     # ------------------------------------------------------------------
     def suggest(self) -> dict:
         """Propose the next hyperparameter set to validate."""
+        self._suggest_timings = {}
         if self.n_trials < self.n_initial or len(self._y) < 2:
             config = self.space.sample(self._rng, 1)[0]
         else:
@@ -132,11 +176,18 @@ class BayesianOptimizer:
             # finite penalty so the GP steers away instead of crashing.
             value = 1e6
         self.space.validate(config)
+        if self._suggest_timings:
+            metadata = {**self._suggest_timings, **metadata}
+            self._suggest_timings = {}
         record = TrialRecord(iteration=self.n_trials, config=dict(config), value=float(value), metadata=metadata)
         self.history.append(record)
         self._X.append(self.space.to_unit(config))
         self._y.append(float(value))
         self._pending = None
+        record_trial(record, optimizer="bayesian")
+        logger.debug(
+            "trial %d: value=%.4g config=%s", record.iteration, record.value, record.config
+        )
         return record
 
     # ------------------------------------------------------------------
@@ -165,7 +216,19 @@ class BayesianOptimizer:
         return fn(mu, sd, best, xi=self.xi)
 
     def _suggest_with_gp(self) -> dict:
+        t0 = time.perf_counter()
         gp = self._fit_surrogate()
+        t1 = time.perf_counter()
+        self._suggest_timings["surrogate_fit_s"] = t1 - t0
+        _metrics.timer("bo.surrogate_fit_seconds").observe(t1 - t0)
+        try:
+            return self._optimize_acquisition(gp)
+        finally:
+            t2 = time.perf_counter()
+            self._suggest_timings["acq_opt_s"] = t2 - t1
+            _metrics.timer("bo.acq_opt_seconds").observe(t2 - t1)
+
+    def _optimize_acquisition(self, gp: GaussianProcessRegressor) -> dict:
         d = self.space.n_dims
 
         # Candidate pool: global uniform + local Gaussian perturbations of
@@ -221,13 +284,15 @@ class BayesianOptimizer:
         """Evaluate ``objective`` for ``n_iters`` iterations; return the best.
 
         ``n_iters`` is the paper's ``maxIters`` (100 in their runs).
+        The objective may return a bare value or ``(value, metadata)``;
+        metadata lands on the :class:`TrialRecord`.
         """
         if n_iters < 1:
             raise ValueError("n_iters must be >= 1")
         for _ in range(n_iters):
             config = self.suggest()
-            value = objective(config)
-            record = self.tell(config, value)
+            value, meta = unpack_objective(objective(config))
+            record = self.tell(config, value, **meta)
             if callback is not None:
                 callback(record)
         return self.best_record

@@ -12,7 +12,7 @@ from typing import Callable
 
 import numpy as np
 
-from repro.bayesopt.optimizer import TrialRecord
+from repro.bayesopt.optimizer import TrialRecord, record_trial, unpack_objective
 from repro.bayesopt.space import SearchSpace
 
 __all__ = ["RandomSearch"]
@@ -61,6 +61,7 @@ class RandomSearch:
             iteration=self.n_trials, config=dict(config), value=float(value), metadata=metadata
         )
         self.history.append(record)
+        record_trial(record, optimizer="random")
         return record
 
     def run(
@@ -73,7 +74,8 @@ class RandomSearch:
             raise ValueError("n_iters must be >= 1")
         for _ in range(n_iters):
             config = self.suggest()
-            record = self.tell(config, objective(config))
+            value, meta = unpack_objective(objective(config))
+            record = self.tell(config, value, **meta)
             if callback is not None:
                 callback(record)
         return self.best_record

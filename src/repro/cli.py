@@ -20,13 +20,30 @@ import sys
 
 import numpy as np
 
+from repro.obs.logging import get_logger
+
 __all__ = ["main", "build_parser"]
+
+logger = get_logger("cli")
 
 
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
         description="LoadDynamics reproduction (IPDPS 2020) command-line interface",
+    )
+    p.add_argument(
+        "--log-level", default="INFO",
+        help="diagnostics verbosity on stderr (DEBUG/INFO/WARNING/ERROR)",
+    )
+    p.add_argument(
+        "--log-json", action="store_true",
+        help="emit diagnostics as JSON lines instead of text",
+    )
+    p.add_argument(
+        "--trace-out", metavar="PATH.jsonl", default=None,
+        help="write structured telemetry (spans, BO trials, training "
+             "epochs, autoscale steps) to this JSONL file",
     )
     sub = p.add_subparsers(dest="command", required=True)
 
@@ -91,6 +108,12 @@ def _cmd_fit(args) -> int:
     )
     predictor, report = ld.fit(series)
     hp = report.best_hyperparameters
+    tel = report.telemetry
+    logger.debug(
+        "telemetry: %d epochs across %d trials, %.1fs training / %.1fs total",
+        tel.get("epochs_total", 0), report.n_trials,
+        tel.get("train_seconds_total", 0.0), report.total_seconds,
+    )
     print(f"workload          : {args.config} ({len(series)} intervals)")
     print(f"trials            : {report.n_trials} ({report.n_infeasible} infeasible)")
     print(f"selected          : n={hp.history_len} s={hp.cell_size} "
@@ -157,15 +180,34 @@ def _cmd_figures(args) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
     np.set_printoptions(precision=3, suppress=True)
-    if args.command == "list":
-        return _cmd_list()
-    if args.command == "fit":
-        return _cmd_fit(args)
-    if args.command == "predict":
-        return _cmd_predict(args)
-    return _cmd_figures(args)
+
+    from repro import obs
+
+    try:
+        obs.configure_logging(args.log_level, json_mode=args.log_json)
+    except ValueError as exc:
+        parser.error(str(exc))
+    trace_sink = None
+    if args.trace_out:
+        try:
+            trace_sink = obs.add_sink(obs.JsonlSink(args.trace_out))
+        except OSError as exc:
+            parser.error(f"cannot open --trace-out file: {exc}")
+        logger.info("writing telemetry trace to %s", args.trace_out)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "fit":
+            return _cmd_fit(args)
+        if args.command == "predict":
+            return _cmd_predict(args)
+        return _cmd_figures(args)
+    finally:
+        if trace_sink is not None:
+            obs.remove_sink(trace_sink, close=True)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -48,7 +48,7 @@ def _evaluate_payload(payload: tuple) -> tuple[dict, float]:
     ld = LoadDynamics.__new__(LoadDynamics)  # skip __init__: only settings used
     ld.settings = settings
     scaler = MinMaxScaler.from_state(scaler_state)
-    value, model = ld._train_and_validate(
+    value, model, _meta = ld._train_and_validate(
         scaled, raw, scaler, config, i_train_end, i_val_end
     )
     return config, float(value)
@@ -136,7 +136,7 @@ def fit_best(
     scaled = scaler.transform(s)
     ld = LoadDynamics.__new__(LoadDynamics)
     ld.settings = cfg
-    value, model = ld._train_and_validate(
+    value, model, _meta = ld._train_and_validate(
         scaled, s, scaler, result.best_hyperparameters.as_dict(),
         i_train_end, i_val_end,
     )

@@ -33,6 +33,10 @@ from repro.core.scaling import MinMaxScaler
 from repro.core.windowing import make_windows, windows_for_range
 from repro.metrics import mape
 from repro.nn.network import LSTMRegressor
+from repro.obs.logging import get_logger
+from repro.obs.tracing import span
+
+logger = get_logger("core.framework")
 
 __all__ = ["LoadDynamics", "FitReport"]
 
@@ -50,6 +54,9 @@ class FitReport:
     trials: list[TrialRecord] = field(default_factory=list)
     total_seconds: float = 0.0
     n_infeasible: int = 0
+    #: Aggregate telemetry of the whole search (wall-clock breakdown,
+    #: epoch counts, early-stop counts); see :meth:`build_telemetry`.
+    telemetry: dict = field(default_factory=dict)
 
     @property
     def n_trials(self) -> int:
@@ -58,6 +65,40 @@ class FitReport:
     def trial_values(self) -> np.ndarray:
         """Validation MAPE per BO iteration (for convergence plots)."""
         return np.array([t.value for t in self.trials])
+
+    def build_telemetry(self) -> dict:
+        """Aggregate the per-trial metadata into one summary dict.
+
+        Every trial carries its training wall-clock, epochs run, and
+        early-stop flag (plus surrogate/acquisition timings for GP
+        iterations), so outliers in :meth:`trial_values` can be
+        explained — e.g. a high-MAPE trial that also stopped after three
+        epochs simply never converged.
+        """
+        feasible = [t for t in self.trials if not t.metadata.get("infeasible", False)]
+        out = {
+            "n_trials": self.n_trials,
+            "n_infeasible": self.n_infeasible,
+            "total_seconds": self.total_seconds,
+            "train_seconds_total": sum(
+                t.metadata.get("train_seconds", 0.0) for t in self.trials
+            ),
+            "epochs_total": int(
+                sum(t.metadata.get("epochs_run", 0) for t in self.trials)
+            ),
+            "n_early_stopped": sum(
+                1 for t in self.trials if t.metadata.get("stopped_early", False)
+            ),
+            "surrogate_fit_seconds_total": sum(
+                t.metadata.get("surrogate_fit_s", 0.0) for t in self.trials
+            ),
+            "acq_opt_seconds_total": sum(
+                t.metadata.get("acq_opt_s", 0.0) for t in self.trials
+            ),
+        }
+        if feasible:
+            out["mean_trial_train_seconds"] = out["train_seconds_total"] / len(feasible)
+        return out
 
 
 class LoadDynamics:
@@ -117,19 +158,26 @@ class LoadDynamics:
         best: dict = {"mape": np.inf, "model": None, "config": None}
         n_infeasible = 0
 
-        def objective(config: dict) -> float:
+        def objective(config: dict) -> tuple[float, dict]:
             nonlocal n_infeasible
-            value, model = self._train_and_validate(
+            value, model, meta = self._train_and_validate(
                 scaled, s, scaler, config, i_train_end, i_val_end
             )
             if model is None:
                 n_infeasible += 1
             elif value < best["mape"]:
                 best.update(mape=value, model=model, config=config)
-            return value
+            return value, meta
 
-        optimizer = self._make_optimizer()
-        optimizer.run(objective, cfg.max_iters)
+        with span(
+            "loaddynamics.fit", n_intervals=int(n_total), max_iters=cfg.max_iters
+        ) as root:
+            optimizer = self._make_optimizer()
+            optimizer.run(objective, cfg.max_iters)
+            root.set("n_trials", len(optimizer.history))
+            root.set("n_infeasible", n_infeasible)
+            if best["model"] is not None:
+                root.set("best_validation_mape", float(best["mape"]))
 
         if best["model"] is None:
             raise RuntimeError(
@@ -149,6 +197,12 @@ class LoadDynamics:
             trials=list(optimizer.history),
             total_seconds=time.perf_counter() - t_start,
             n_infeasible=n_infeasible,
+        )
+        report.telemetry = report.build_telemetry()
+        report.telemetry["fit_span_seconds"] = root.duration_s
+        logger.info(
+            "fit done: %d trials (%d infeasible), best MAPE %.2f%% in %.1fs",
+            report.n_trials, n_infeasible, best["mape"], report.total_seconds,
         )
         return predictor, report
 
@@ -175,29 +229,39 @@ class LoadDynamics:
         config: dict,
         i_train_end: int,
         i_val_end: int,
-    ) -> tuple[float, LSTMRegressor | None]:
-        """Fig. 6 steps 1–2 for one hyperparameter set."""
+    ) -> tuple[float, LSTMRegressor | None, dict]:
+        """Fig. 6 steps 1–2 for one hyperparameter set.
+
+        Returns ``(validation_mape, model, metadata)``; the metadata
+        dict records training wall-clock, epochs run, and the early-stop
+        flag (or the infeasibility reason) and ends up on the trial's
+        :class:`~repro.bayesopt.optimizer.TrialRecord`.
+        """
         cfg = self.settings
         n = int(config["history_len"])
 
+        def infeasible(reason: str) -> tuple[float, None, dict]:
+            return _INFEASIBLE_PENALTY, None, {"infeasible": True, "reason": reason}
+
         # Feasibility: the training split must yield enough windows.
         if i_train_end - n < cfg.min_train_windows:
-            return _INFEASIBLE_PENALTY, None
+            return infeasible("too_few_train_windows")
         X_train, y_train = make_windows(scaled[:i_train_end], n)
         if cfg.max_train_windows is not None and len(y_train) > cfg.max_train_windows:
             X_train = X_train[-cfg.max_train_windows :]
             y_train = y_train[-cfg.max_train_windows :]
         X_val, y_val_scaled = windows_for_range(scaled, n, i_train_end, i_val_end)
         if X_val.shape[0] < 1:
-            return _INFEASIBLE_PENALTY, None
+            return infeasible("empty_validation_window")
 
         model = LSTMRegressor(
             hidden_size=int(config["cell_size"]),
             num_layers=int(config["num_layers"]),
             seed=cfg.seed,
         )
+        t_train = time.perf_counter()
         try:
-            model.fit(
+            history = model.fit(
                 X_train,
                 y_train,
                 epochs=cfg.epochs,
@@ -212,7 +276,14 @@ class LoadDynamics:
                 patience=cfg.patience,
             )
         except (FloatingPointError, np.linalg.LinAlgError):
-            return _INFEASIBLE_PENALTY, None
+            return infeasible("training_diverged")
+        meta = {
+            "train_seconds": time.perf_counter() - t_train,
+            "epochs_run": history.epochs_run,
+            "stopped_early": history.stopped_early,
+            "best_epoch": history.best_epoch,
+            "n_train_windows": int(len(y_train)),
+        }
 
         # Validation error in *raw* JAR units (MAPE is scale-sensitive).
         pred_scaled = model.predict(X_val)
@@ -221,10 +292,10 @@ class LoadDynamics:
         try:
             value = mape(pred, actual)
         except ValueError:
-            return _INFEASIBLE_PENALTY, None
+            return infeasible("validation_mape_undefined")
         if not np.isfinite(value):
-            return _INFEASIBLE_PENALTY, None
-        return value, model
+            return infeasible("validation_mape_nonfinite")
+        return value, model, meta
 
     # ------------------------------------------------------------------
     def evaluate(

@@ -61,7 +61,7 @@ def run_fig5(
     configs = space.sample(rng, n_models)
     mapes: list[float] = []
     for config in configs:
-        value, model = ld._train_and_validate(
+        value, model, _meta = ld._train_and_validate(
             scaled, series, scaler, config, i_train, i_val
         )
         if model is not None:

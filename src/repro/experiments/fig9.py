@@ -29,9 +29,12 @@ from repro.experiments.common import (
     evaluate_on_test,
     test_start_index,
 )
+from repro.obs.logging import get_logger
 from repro.traces import ALL_CONFIGURATIONS, get_configuration
 
 __all__ = ["run_fig9", "Fig9Result"]
+
+logger = get_logger("experiments.fig9")
 
 BASELINES = ("cloudinsight", "cloudscale", "wood")
 
@@ -122,6 +125,6 @@ def run_fig9(
                 series, trace, budget, per_cfg_settings, brute_force_trials, max_eval
             )
         result.rows.append(row)
-        if verbose:
-            print(f"[fig9] {key}: {row} ({time.perf_counter() - t0:.1f}s)")
+        log = logger.info if verbose else logger.debug
+        log("[fig9] %s: %s (%.1fs)", key, row, time.perf_counter() - t0)
     return result

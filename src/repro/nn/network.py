@@ -16,6 +16,7 @@ a held-out split.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -24,6 +25,8 @@ from repro.nn.dense import DenseLayer
 from repro.nn.losses import LOSSES
 from repro.nn.lstm import LSTMLayer
 from repro.nn.optimizers import clip_gradients, make_optimizer
+from repro.obs import events as _events
+from repro.obs.callbacks import CallbackList
 
 __all__ = ["LSTMRegressor", "TrainingHistory"]
 
@@ -173,12 +176,19 @@ class LSTMRegressor:
         patience: int = 10,
         min_delta: float = 1e-6,
         shuffle: bool = True,
+        callbacks: list | None = None,
     ) -> TrainingHistory:
         """Train on windows ``x`` → targets ``y``.
 
         With ``validation`` given, tracks the best-epoch weights and
         restores them at the end (early stopping after ``patience``
         epochs without ``min_delta`` improvement).
+
+        ``callbacks`` is a list of :class:`repro.obs.TrainingCallback`
+        objects (or plain ``(epoch, logs)`` callables); each gets
+        ``on_epoch_end`` exactly once per epoch run, with the same
+        numbers :class:`TrainingHistory` accumulates plus the epoch
+        wall-clock duration.
         """
         x = self._coerce_input(x)
         y = np.asarray(y, dtype=np.float64).ravel()
@@ -210,7 +220,12 @@ class LSTMRegressor:
         stall = 0
         n = x.shape[0]
 
+        cbs = CallbackList(callbacks)
+        if cbs:
+            cbs.on_train_begin(self, epochs)
+
         for epoch in range(epochs):
+            t_epoch = time.perf_counter()
             order = self._shuffle_rng.permutation(n) if shuffle else np.arange(n)
             epoch_loss = 0.0
             epoch_norm = 0.0
@@ -228,6 +243,8 @@ class LSTMRegressor:
             history.train_loss.append(epoch_loss / n_batches)
             history.grad_norm.append(epoch_norm / n_batches)
 
+            improved = False
+            stop = False
             if val_xy is not None:
                 vp = self.predict(val_xy[0])
                 vloss, _ = loss_fn(vp, val_xy[1])
@@ -237,15 +254,37 @@ class LSTMRegressor:
                     best_weights = [p.copy() for p in params]
                     history.best_epoch = epoch
                     stall = 0
+                    improved = True
                 else:
                     stall += 1
                     if stall >= patience:
                         history.stopped_early = True
-                        break
+                        stop = True
+
+            # Telemetry is a single branch when no callbacks are passed
+            # and no event sink is registered.
+            if cbs or _events.enabled():
+                logs = {
+                    "train_loss": history.train_loss[-1],
+                    "grad_norm": history.grad_norm[-1],
+                    "duration_s": time.perf_counter() - t_epoch,
+                    "n_batches": n_batches,
+                }
+                if val_xy is not None:
+                    logs["val_loss"] = history.val_loss[-1]
+                    logs["improved"] = improved
+                if cbs:
+                    cbs.on_epoch_end(epoch, logs)
+                if _events.enabled():
+                    _events.emit("train.epoch", epoch=epoch, **logs)
+            if stop:
+                break
 
         if best_weights is not None:
             for p, w in zip(params, best_weights, strict=True):
                 p[...] = w
+        if cbs:
+            cbs.on_train_end(history)
         return history
 
     # ------------------------------------------------------------------

@@ -1,0 +1,195 @@
+"""Structured event records and sinks — the telemetry backbone.
+
+Every instrumented subsystem (training loop, BO search, autoscaling
+simulator, tracing spans) reports through :func:`emit`, which fans a
+flat JSON-serializable record out to the registered sinks.  With no
+sinks registered the hot paths pay a single ``if`` per potential event
+— the guard callers should use is :func:`enabled`.
+
+Sinks:
+
+* :class:`MemorySink` — keeps events in a list (tests, summaries);
+* :class:`JsonlSink` — appends one JSON object per line to a file, the
+  machine-readable trace format the CLI exposes as ``--trace-out``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+__all__ = [
+    "Event",
+    "MemorySink",
+    "JsonlSink",
+    "add_sink",
+    "remove_sink",
+    "clear_sinks",
+    "enabled",
+    "emit",
+    "read_jsonl",
+]
+
+#: Bumped whenever the on-disk record layout changes.
+SCHEMA_VERSION = 1
+
+_lock = threading.Lock()
+_sinks: tuple["Sink", ...] = ()
+
+
+@dataclass
+class Event:
+    """One telemetry record: a name, a wall-clock timestamp, flat fields."""
+
+    name: str
+    time: float
+    fields: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        d = {"event": self.name, "time": self.time, "v": SCHEMA_VERSION}
+        d.update(self.fields)
+        return d
+
+
+class Sink:
+    """Receives event dicts; subclasses override :meth:`handle`."""
+
+    def handle(self, record: dict) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:
+        pass
+
+
+class MemorySink(Sink):
+    """Collects events in memory; supports filtering by event name."""
+
+    def __init__(self, max_events: int | None = None):
+        self.records: list[dict] = []
+        self.max_events = max_events
+        self._lock = threading.Lock()
+
+    def handle(self, record: dict) -> None:
+        with self._lock:
+            self.records.append(record)
+            if self.max_events is not None and len(self.records) > self.max_events:
+                del self.records[0]
+
+    def by_name(self, name: str) -> list[dict]:
+        with self._lock:
+            return [r for r in self.records if r.get("event") == name]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class JsonlSink(Sink):
+    """Appends one JSON object per line to ``path`` (created eagerly)."""
+
+    def __init__(self, path: str, flush_every: int = 1):
+        self.path = str(path)
+        self.flush_every = max(1, int(flush_every))
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self._lock = threading.Lock()
+        self._since_flush = 0
+
+    def handle(self, record: dict) -> None:
+        line = json.dumps(record, default=_json_fallback)
+        with self._lock:
+            if self._fh.closed:
+                return
+            self._fh.write(line + "\n")
+            self._since_flush += 1
+            if self._since_flush >= self.flush_every:
+                self._fh.flush()
+                self._since_flush = 0
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.flush()
+                self._fh.close()
+
+
+class CallbackSink(Sink):
+    """Adapts a plain callable ``record -> None`` into a sink."""
+
+    def __init__(self, fn: Callable[[dict], None]):
+        self.fn = fn
+
+    def handle(self, record: dict) -> None:
+        self.fn(record)
+
+
+def _json_fallback(obj: Any):
+    """Serialize numpy scalars/arrays without importing numpy here."""
+    if hasattr(obj, "tolist"):
+        return obj.tolist()
+    if hasattr(obj, "item"):
+        return obj.item()
+    return str(obj)
+
+
+# ----------------------------------------------------------------------
+# global sink registry
+# ----------------------------------------------------------------------
+def add_sink(sink: Sink) -> Sink:
+    """Register a sink to receive all subsequent events."""
+    global _sinks
+    with _lock:
+        if sink not in _sinks:
+            _sinks = _sinks + (sink,)
+    return sink
+
+
+def remove_sink(sink: Sink, close: bool = False) -> None:
+    """Deregister a sink; optionally close it."""
+    global _sinks
+    with _lock:
+        _sinks = tuple(s for s in _sinks if s is not sink)
+    if close:
+        sink.close()
+
+
+def clear_sinks(close: bool = False) -> None:
+    """Deregister every sink; optionally close them."""
+    global _sinks
+    with _lock:
+        old, _sinks = _sinks, ()
+    if close:
+        for s in old:
+            s.close()
+
+
+def enabled() -> bool:
+    """True when at least one sink is registered.
+
+    Hot paths check this before building event payloads so that the
+    disabled cost is one tuple truth-test.
+    """
+    return bool(_sinks)
+
+
+def emit(name: str, /, **fields) -> None:
+    """Build an event and hand it to every registered sink.
+
+    No-op (and allocation-free) when no sinks are registered.
+    """
+    sinks = _sinks
+    if not sinks:
+        return
+    record = Event(name=name, time=time.time(), fields=fields).to_dict()
+    for sink in sinks:
+        sink.handle(record)
+
+
+def read_jsonl(path: str) -> Iterator[dict]:
+    """Yield the records of a JSONL trace file (blank lines skipped)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield json.loads(line)

@@ -1,0 +1,93 @@
+"""Namespaced ``repro.*`` loggers and one-call configuration.
+
+All framework diagnostics flow through children of the ``repro`` logger
+(``repro.bayesopt``, ``repro.experiments.fig9``, ...).  By default the
+hierarchy is silent (a ``NullHandler`` on the root ``repro`` logger);
+:func:`configure_logging` installs a stream handler with either a
+human-readable or a JSON-lines formatter.  User-facing CLI output stays
+on plain stdout — the logger is for diagnostics.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+
+__all__ = ["get_logger", "configure_logging", "JsonFormatter"]
+
+ROOT_NAME = "repro"
+
+_root = logging.getLogger(ROOT_NAME)
+_root.addHandler(logging.NullHandler())
+
+#: Handler installed by :func:`configure_logging`, so reconfiguration
+#: replaces rather than stacks handlers.
+_installed_handler: logging.Handler | None = None
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per log record (machine-readable diagnostics)."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "logger": record.name,
+            "level": record.levelname,
+            "time": record.created,
+            "message": record.getMessage(),
+        }
+        if record.exc_info:
+            payload["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(payload)
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the ``repro`` namespace.
+
+    ``get_logger("bayesopt")`` → ``repro.bayesopt``; an empty name (or a
+    name already starting with ``repro``) returns the root framework
+    logger / the name unchanged.
+    """
+    if not name:
+        return _root
+    if name == ROOT_NAME or name.startswith(ROOT_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_NAME}.{name}")
+
+
+def configure_logging(
+    level: int | str = "INFO",
+    json_mode: bool = False,
+    stream=None,
+) -> logging.Logger:
+    """Install (or replace) the handler on the ``repro`` logger.
+
+    Parameters
+    ----------
+    level:
+        Numeric level or name (``"DEBUG"``, ``"info"``, ...).
+    json_mode:
+        Emit JSON-lines records instead of human-readable text.
+    stream:
+        Target stream; defaults to ``sys.stderr`` so diagnostics never
+        mix into stdout tables.
+    """
+    global _installed_handler
+    if isinstance(level, str):
+        resolved = logging.getLevelName(level.upper())
+        if not isinstance(resolved, int):
+            raise ValueError(f"unknown log level {level!r}")
+        level = resolved
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    if json_mode:
+        handler.setFormatter(JsonFormatter())
+    else:
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(levelname)-7s %(name)s: %(message)s")
+        )
+    if _installed_handler is not None:
+        _root.removeHandler(_installed_handler)
+    _root.addHandler(handler)
+    _root.setLevel(level)
+    _installed_handler = handler
+    return _root

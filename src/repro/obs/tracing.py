@@ -1,0 +1,98 @@
+"""Nested tracing spans with wall-clock and perf-counter timing.
+
+:func:`span` is a context manager that tracks the active span per
+thread/async-context (``contextvars``), so nested ``with span(...)``
+blocks form a tree: each span records its parent, its depth, and a
+monotonically increasing id.  On exit the span
+
+* emits a ``"span"`` event through :mod:`repro.obs.events` (so traces
+  land in ``--trace-out`` JSONL files), and
+* records its duration in the metrics registry under
+  ``span.<name>.seconds``.
+
+Both are skipped when the corresponding subsystem is disabled, so a
+span costs two clock reads plus a context-variable swap when telemetry
+is off.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+
+from repro.obs import events as _events
+from repro.obs import metrics as _metrics
+
+__all__ = ["Span", "span", "current_span"]
+
+_ids = itertools.count(1)
+_current: ContextVar["Span | None"] = ContextVar("repro_obs_current_span", default=None)
+
+
+@dataclass
+class Span:
+    """One timed region; ``attrs`` may be extended while the span is open."""
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    depth: int
+    attrs: dict = field(default_factory=dict)
+    start_time: float = 0.0          # wall clock (unix seconds)
+    duration_s: float = 0.0          # perf-counter elapsed, filled on exit
+    _start_perf: float = 0.0
+
+    def set(self, key: str, value) -> None:
+        """Attach an attribute to the span (appears in the emitted record)."""
+        self.attrs[key] = value
+
+    def to_record(self) -> dict:
+        d = {
+            "span": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "depth": self.depth,
+            "start_time": self.start_time,
+            "duration_s": self.duration_s,
+        }
+        d.update(self.attrs)
+        return d
+
+
+def current_span() -> Span | None:
+    """The innermost open span in this thread/context, if any."""
+    return _current.get()
+
+
+@contextmanager
+def span(name: str, **attrs):
+    """Open a nested, timed span named ``name``.
+
+    Yields the :class:`Span` so callers can attach attributes::
+
+        with span("loaddynamics.fit", n_intervals=len(series)) as sp:
+            ...
+            sp.set("n_trials", report.n_trials)
+    """
+    parent = _current.get()
+    sp = Span(
+        name=name,
+        span_id=next(_ids),
+        parent_id=parent.span_id if parent is not None else None,
+        depth=parent.depth + 1 if parent is not None else 0,
+        attrs=dict(attrs),
+        start_time=time.time(),
+    )
+    token = _current.set(sp)
+    sp._start_perf = time.perf_counter()
+    try:
+        yield sp
+    finally:
+        sp.duration_s = time.perf_counter() - sp._start_perf
+        _current.reset(token)
+        _metrics.timer(f"span.{name}.seconds").observe(sp.duration_s)
+        if _events.enabled():
+            _events.emit("span", **sp.to_record())

@@ -22,9 +22,15 @@ PACKAGES = [
     "repro.core",
     "repro.autoscale",
     "repro.experiments",
+    "repro.obs",
 ]
 
 MODULES = PACKAGES + [
+    "repro.obs.events",
+    "repro.obs.metrics",
+    "repro.obs.tracing",
+    "repro.obs.callbacks",
+    "repro.obs.logging",
     "repro.metrics",
     "repro.parallel",
     "repro.cli",
