@@ -19,6 +19,9 @@ from pathlib import Path
 #: Files allowed to print: the CLI's aligned tables are stdout output.
 ALLOWED = {"cli.py"}
 
+#: Scripts outside src/repro that must also use the repro loggers.
+EXTRA_FILES = ("fault_smoke.py",)
+
 
 def find_prints(path: Path) -> list[int]:
     """Line numbers of ``print(...)`` calls in a Python source file."""
@@ -39,9 +42,10 @@ def main(argv: list[str] | None = None) -> int:
     if argv:
         root = Path(argv[0])
     violations: list[str] = []
-    for path in sorted(root.rglob("*.py")):
-        if path.name in ALLOWED:
-            continue
+    targets = [p for p in sorted(root.rglob("*.py")) if p.name not in ALLOWED]
+    script_dir = Path(__file__).resolve().parent
+    targets += [script_dir / name for name in EXTRA_FILES if (script_dir / name).exists()]
+    for path in targets:
         for lineno in find_prints(path):
             violations.append(f"{path}:{lineno}")
     if violations:

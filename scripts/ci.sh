@@ -15,3 +15,6 @@ fi
 
 echo "== tier-1 tests =="
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -x -q
+
+echo "== fault-injection smoke =="
+python scripts/fault_smoke.py

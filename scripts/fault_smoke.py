@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""CI smoke stage: every injected fault class must degrade, never crash.
+
+Runs one tiny LoadDynamics fit per fault kind (see
+:mod:`repro.resilience.faults`) and asserts the documented recovery
+behaviour:
+
+* ``nan_loss@nn.fit`` — every training diverges; the fit returns a
+  degraded naive-fallback report instead of raising (env-driven path);
+* ``linalg@gp.fit`` — the GP surrogate fails every iteration; BO
+  degrades to random suggestions and still completes all trials;
+* ``slow@nn.fit`` + ``--trial-timeout`` — slow trials are recorded
+  infeasible with reason ``trial_timeout``;
+* ``kill@objective`` + journal — the run dies mid-flight, then resumes
+  from the journal and finishes with the journaled trials replayed.
+
+Exit status: 0 when every scenario recovers as specified, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro import obs
+from repro.core import FrameworkSettings, LoadDynamics, search_space_for
+from repro.obs.logging import get_logger
+from repro.resilience import SimulatedCrash, TrialJournal, faults
+
+logger = get_logger("fault_smoke")
+
+
+def _series() -> np.ndarray:
+    x = np.arange(240.0)
+    return np.abs(np.sin(x / 12)) * 400 + 100 + 10 * np.cos(x / 5)
+
+
+def _fit(series, *, faults_spec=None, env_spec=None, **settings_overrides):
+    settings = FrameworkSettings.tiny(**settings_overrides)
+    ld = LoadDynamics(space=search_space_for("default", "tiny"), settings=settings)
+    if env_spec is not None:
+        os.environ[faults.FAULTS_ENV] = env_spec
+        faults.clear_injector()
+        try:
+            return ld.fit(series)
+        finally:
+            del os.environ[faults.FAULTS_ENV]
+            faults.clear_injector()
+    if faults_spec is not None:
+        with faults.injected(faults_spec):
+            return ld.fit(series)
+    return ld.fit(series)
+
+
+def smoke_nan_loss(series) -> None:
+    """Divergence guard + retry + all-infeasible degradation (env path)."""
+    _, report = _fit(series, env_spec="nan_loss@nn.fit:*", max_iters=3)
+    assert report.degraded, "all-diverged run must return a degraded report"
+    assert report.degraded_reason == "no_feasible_trials"
+    assert all(
+        t.metadata.get("reason") == "training_diverged" for t in report.trials
+    ), "every trial must be recorded as diverged"
+
+
+def smoke_gp_linalg(series) -> None:
+    """Surrogate failure must fall back to random suggestions, not abort."""
+    _, report = _fit(series, faults_spec="linalg@gp.fit:*", max_iters=4)
+    assert not report.degraded, "GP failure must not degrade the whole fit"
+    assert report.n_trials == 4
+    assert report.telemetry["n_degraded_suggests"] >= 1
+
+
+def smoke_trial_timeout(series) -> None:
+    """A slow trial must be cut off at the deadline and recorded."""
+    _, report = _fit(
+        series,
+        faults_spec="slow@nn.fit:*=0.05",
+        max_iters=2,
+        trial_timeout_s=0.02,
+    )
+    assert report.degraded
+    assert all(
+        t.metadata.get("reason") == "trial_timeout" for t in report.trials
+    ), "slow trials must be recorded with reason trial_timeout"
+
+
+def smoke_kill_and_resume(series) -> None:
+    """Crash mid-run, resume from the journal, finish the budget."""
+    with tempfile.TemporaryDirectory() as tmp:
+        journal = Path(tmp) / "smoke.jsonl"
+        ld = LoadDynamics(
+            space=search_space_for("default", "tiny"),
+            settings=FrameworkSettings.tiny(max_iters=3),
+        )
+        try:
+            with faults.injected("kill@objective:2"):
+                ld.fit(series, journal=journal)
+        except SimulatedCrash:
+            logger.info("simulated crash landed as planned")
+        else:
+            raise AssertionError("kill fault did not fire")
+        _, trials = TrialJournal.load(journal)
+        assert len(trials) == 1, "one trial must have survived the crash"
+
+        ld2 = LoadDynamics(
+            space=search_space_for("default", "tiny"),
+            settings=FrameworkSettings.tiny(max_iters=3),
+        )
+        _, report = ld2.fit(series, journal=journal, resume=True)
+        assert report.n_resumed == 1
+        assert report.n_trials == 3
+        assert not report.degraded
+
+
+SCENARIOS = (
+    smoke_nan_loss,
+    smoke_gp_linalg,
+    smoke_trial_timeout,
+    smoke_kill_and_resume,
+)
+
+
+def main() -> int:
+    obs.configure_logging("INFO")
+    series = _series()
+    failed = 0
+    for scenario in SCENARIOS:
+        try:
+            scenario(series)
+        except AssertionError as exc:
+            logger.error("FAIL %s: %s", scenario.__name__, exc)
+            failed += 1
+        except Exception:
+            logger.exception("CRASH %s (fault escaped the recovery path)",
+                             scenario.__name__)
+            failed += 1
+        else:
+            logger.info("ok %s", scenario.__name__)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,6 +36,20 @@ class GridSearch:
             rng.shuffle(self._grid)
         self._cursor = 0
         self.history: list[TrialRecord] = []
+        self._excluded = None
+
+    # ------------------------------------------------------------------
+    # resilience hooks (same contract as BayesianOptimizer)
+    # ------------------------------------------------------------------
+    def set_excluded(self, predicate) -> None:
+        """Skip grid points for which ``predicate`` is true (quarantine)."""
+        self._excluded = predicate
+
+    def search_state(self) -> dict:
+        return {"cursor": self._cursor}
+
+    def restore_search_state(self, state: dict) -> None:
+        self._cursor = int(state["cursor"])
 
     @property
     def n_trials(self) -> int:
@@ -64,12 +78,15 @@ class GridSearch:
         return self.best_record.value
 
     def suggest(self) -> dict:
-        """Next unexplored grid point (raises when exhausted)."""
-        if self.exhausted:
-            raise StopIteration("grid exhausted")
-        config = self._grid[self._cursor]
-        self._cursor += 1
-        return dict(config)
+        """Next unexplored, non-quarantined grid point (raises when
+        exhausted)."""
+        while not self.exhausted:
+            config = self._grid[self._cursor]
+            self._cursor += 1
+            if self._excluded is not None and self._excluded(config):
+                continue
+            return dict(config)
+        raise StopIteration("grid exhausted")
 
     def tell(self, config: dict, value: float, **metadata) -> TrialRecord:
         self.space.validate(config)

@@ -129,6 +129,7 @@ class BayesianOptimizer:
         self._X: list[np.ndarray] = []
         self._y: list[float] = []
         self._pending: dict | None = None
+        self._excluded: Callable[[dict], bool] | None = None
         #: Timings of the most recent :meth:`suggest`, attached to the
         #: next :meth:`tell`'s record so every trial carries the cost of
         #: proposing it (surrogate fit + acquisition optimization).
@@ -157,15 +158,67 @@ class BayesianOptimizer:
         return self.best_record.value
 
     # ------------------------------------------------------------------
+    # resilience hooks
+    # ------------------------------------------------------------------
+    def set_excluded(self, predicate: Callable[[dict], bool] | None) -> None:
+        """Ban configs for which ``predicate`` is true from being suggested
+        (the quarantine hook — see :class:`repro.resilience.Quarantine`)."""
+        self._excluded = predicate
+
+    def search_state(self) -> dict:
+        """Serializable state needed to resume suggesting deterministically.
+
+        ``tell`` consumes no randomness, so the state captured after
+        trial *i* is exactly the state ``suggest`` for trial *i+1* will
+        see — restoring it makes a resumed run bit-for-bit identical.
+        """
+        return {"rng": self._rng.bit_generator.state}
+
+    def restore_search_state(self, state: dict) -> None:
+        self._rng.bit_generator.state = state["rng"]
+
+    def _sample_novel(self) -> dict:
+        """Uniform sample, dodging excluded configs when a ban is active."""
+        config = self.space.sample(self._rng, 1)[0]
+        if self._excluded is None:
+            return config
+        for _ in range(32):
+            if not self._excluded(config):
+                return config
+            config = self.space.sample(self._rng, 1)[0]
+        return config
+
+    # ------------------------------------------------------------------
     # ask / tell
     # ------------------------------------------------------------------
     def suggest(self) -> dict:
-        """Propose the next hyperparameter set to validate."""
+        """Propose the next hyperparameter set to validate.
+
+        If the GP surrogate cannot be fit or optimized (singular kernel
+        matrix, numerical blow-up), the iteration degrades to a random
+        suggestion instead of aborting the run; the degradation is
+        flagged on the next trial's metadata and telemetry.
+        """
         self._suggest_timings = {}
         if self.n_trials < self.n_initial or len(self._y) < 2:
-            config = self.space.sample(self._rng, 1)[0]
+            config = self._sample_novel()
         else:
-            config = self._suggest_with_gp()
+            try:
+                config = self._suggest_with_gp()
+            except (np.linalg.LinAlgError, FloatingPointError) as exc:
+                _metrics.counter("bo.surrogate_failures").inc()
+                logger.warning(
+                    "surrogate failed at trial %d (%s); degrading to a "
+                    "random suggestion",
+                    self.n_trials,
+                    exc,
+                )
+                if _events.enabled():
+                    _events.emit(
+                        "bo.degraded", iteration=self.n_trials, error=str(exc)
+                    )
+                self._suggest_timings["degraded_suggest"] = True
+                config = self._sample_novel()
         self._pending = config
         return config
 
@@ -266,10 +319,12 @@ class BayesianOptimizer:
                 cand = self.space.from_unit(U[idx])
                 if not self._is_duplicate(cand):
                     return cand
-            return self.space.sample(self._rng, 1)[0]
+            return self._sample_novel()
         return config
 
     def _is_duplicate(self, config: dict) -> bool:
+        if self._excluded is not None and self._excluded(config):
+            return True
         return any(r.config == config for r in self.history)
 
     # ------------------------------------------------------------------

@@ -26,6 +26,20 @@ class RandomSearch:
         self._rng = np.random.default_rng(seed)
         self.avoid_duplicates = bool(avoid_duplicates)
         self.history: list[TrialRecord] = []
+        self._excluded = None
+
+    # ------------------------------------------------------------------
+    # resilience hooks (same contract as BayesianOptimizer)
+    # ------------------------------------------------------------------
+    def set_excluded(self, predicate) -> None:
+        """Ban configs for which ``predicate`` is true (quarantine hook)."""
+        self._excluded = predicate
+
+    def search_state(self) -> dict:
+        return {"rng": self._rng.bit_generator.state}
+
+    def restore_search_state(self, state: dict) -> None:
+        self._rng.bit_generator.state = state["rng"]
 
     @property
     def n_trials(self) -> int:
@@ -46,10 +60,16 @@ class RandomSearch:
         return self.best_record.value
 
     def suggest(self) -> dict:
-        """Draw a uniform config (retrying a few times to dodge repeats)."""
-        for _ in range(16 if self.avoid_duplicates else 1):
+        """Draw a uniform config (retrying a few times to dodge repeats
+        and quarantined configs)."""
+        retries = 16 if (self.avoid_duplicates or self._excluded is not None) else 1
+        for _ in range(retries):
             config = self.space.sample(self._rng, 1)[0]
-            if not any(r.config == config for r in self.history):
+            if self._excluded is not None and self._excluded(config):
+                continue
+            if not self.avoid_duplicates or not any(
+                r.config == config for r in self.history
+            ):
                 return config
         return config
 

@@ -57,6 +57,15 @@ def build_parser() -> argparse.ArgumentParser:
     fit.add_argument("--extended", action="store_true",
                      help="also tune loss/optimizer (paper §V)")
     fit.add_argument("--save", metavar="DIR", help="save the predictor here")
+    fit.add_argument("--journal", metavar="PATH.jsonl", default=None,
+                     help="crash-safe trial journal: every completed trial is "
+                          "fsynced here before the next starts")
+    fit.add_argument("--resume", action="store_true",
+                     help="replay completed trials from --journal and continue "
+                          "the interrupted run deterministically")
+    fit.add_argument("--trial-timeout", type=float, default=None, metavar="SECONDS",
+                     help="per-trial wall-clock deadline; slower trials are "
+                          "recorded infeasible instead of stalling the run")
 
     pred = sub.add_parser("predict", help="forecast with a saved predictor")
     pred.add_argument("model_dir", help="directory written by `repro fit --save`")
@@ -100,13 +109,20 @@ def _cmd_fit(args) -> int:
     from repro.core import FrameworkSettings, LoadDynamics, search_space_for
     from repro.traces import get_configuration
 
+    if args.resume and not args.journal:
+        print("error: --resume requires --journal", file=sys.stderr)
+        return 2
     series = get_configuration(args.config).load()
     trace = args.config.split("-")[0]
     ld = LoadDynamics(
         space=search_space_for(trace, args.budget, extended=args.extended),
-        settings=FrameworkSettings.reduced(max_iters=args.max_iters, epochs=args.epochs),
+        settings=FrameworkSettings.reduced(
+            max_iters=args.max_iters,
+            epochs=args.epochs,
+            trial_timeout_s=args.trial_timeout,
+        ),
     )
-    predictor, report = ld.fit(series)
+    predictor, report = ld.fit(series, journal=args.journal, resume=args.resume)
     hp = report.best_hyperparameters
     tel = report.telemetry
     logger.debug(
@@ -116,14 +132,22 @@ def _cmd_fit(args) -> int:
     )
     print(f"workload          : {args.config} ({len(series)} intervals)")
     print(f"trials            : {report.n_trials} ({report.n_infeasible} infeasible)")
+    if report.n_resumed:
+        print(f"resumed trials    : {report.n_resumed} (from {args.journal})")
+    if report.degraded:
+        print(f"DEGRADED          : {report.degraded_reason} "
+              f"(naive last-value fallback)")
     print(f"selected          : n={hp.history_len} s={hp.cell_size} "
           f"layers={hp.num_layers} batch={hp.batch_size}")
     print(f"validation MAPE   : {report.best_validation_mape:.2f}%")
     print(f"test MAPE         : {ld.evaluate(predictor, series):.2f}%")
     print(f"fit wall time     : {report.total_seconds:.1f}s")
     if args.save:
-        path = predictor.save(args.save)
-        print(f"saved predictor   : {path}")
+        if report.degraded:
+            print("saved predictor   : skipped (degraded fallback is not persistable)")
+        else:
+            path = predictor.save(args.save)
+            print(f"saved predictor   : {path}")
     return 0
 
 

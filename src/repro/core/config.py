@@ -139,6 +139,18 @@ class FrameworkSettings:
     #: Optional cap on training windows per trial (most recent kept) to
     #: bound trial cost on very long 5-minute traces.
     max_train_windows: int | None = 4000
+    #: Per-trial wall-clock deadline in seconds (``None`` = unlimited).
+    #: A trial past the deadline is recorded infeasible with reason
+    #: ``trial_timeout`` instead of stalling the whole run.
+    trial_timeout_s: float | None = None
+    #: Extra training attempts (with a fresh weight seed and backed-off
+    #: epochs/patience) when a trial diverges; 0 disables retries.
+    max_retries: int = 1
+    #: Epochs/patience multiplier per retry attempt.
+    retry_backoff: float = 0.5
+    #: Failures (divergence/timeout) after which a config is quarantined
+    #: and never suggested again; ``0`` disables the quarantine.
+    quarantine_after: int = 3
 
     def __post_init__(self):
         if self.max_iters < 1:
@@ -149,6 +161,14 @@ class FrameworkSettings:
             raise ValueError("train+val fractions must leave a test split")
         if self.epochs < 1:
             raise ValueError("epochs must be >= 1")
+        if self.trial_timeout_s is not None and self.trial_timeout_s <= 0:
+            raise ValueError("trial_timeout_s must be positive (or None)")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if not 0.0 < self.retry_backoff <= 1.0:
+            raise ValueError("retry_backoff must be in (0, 1]")
+        if self.quarantine_after < 0:
+            raise ValueError("quarantine_after must be >= 0")
 
     @classmethod
     def reduced(cls, **overrides) -> "FrameworkSettings":

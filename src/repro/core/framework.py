@@ -22,19 +22,31 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
-from repro.bayesopt.optimizer import BayesianOptimizer, TrialRecord
+from repro.bayesopt.optimizer import BayesianOptimizer, TrialRecord, unpack_objective
 from repro.bayesopt.space import SearchSpace
 from repro.core.config import FrameworkSettings, LSTMHyperparameters, search_space_for
-from repro.core.predictor import LoadDynamicsPredictor
+from repro.core.predictor import LoadDynamicsPredictor, NaiveLastValueModel
 from repro.core.scaling import MinMaxScaler
 from repro.core.windowing import make_windows, windows_for_range
 from repro.metrics import mape
 from repro.nn.network import LSTMRegressor
+from repro.obs import events as _events
+from repro.obs import metrics as _metrics
 from repro.obs.logging import get_logger
 from repro.obs.tracing import span
+from repro.resilience import faults as _faults
+from repro.resilience.journal import TrialJournal
+from repro.resilience.retry import (
+    DeadlineCallback,
+    EpochCounter,
+    Quarantine,
+    RetryPolicy,
+    TrialTimeout,
+)
 
 logger = get_logger("core.framework")
 
@@ -43,6 +55,11 @@ __all__ = ["LoadDynamics", "FitReport"]
 #: Objective value for hyperparameter sets that cannot be trained
 #: (history longer than the training split, degenerate windows, ...).
 _INFEASIBLE_PENALTY = 1e6
+
+#: Infeasibility reasons that count as *failures* for the quarantine —
+#: transient/training pathologies, as opposed to deterministic
+#: infeasibility (too few windows) the optimizers already steer around.
+_FAILURE_REASONS = frozenset({"training_diverged", "trial_timeout"})
 
 
 @dataclass
@@ -54,6 +71,14 @@ class FitReport:
     trials: list[TrialRecord] = field(default_factory=list)
     total_seconds: float = 0.0
     n_infeasible: int = 0
+    #: True when the fit could not produce a trained LSTM and fell back
+    #: to the naive last-value predictor (``degraded_reason`` says why).
+    degraded: bool = False
+    degraded_reason: str | None = None
+    #: Trials replayed from a journal rather than trained in this run.
+    n_resumed: int = 0
+    #: Configs banned by the quarantine during this run.
+    n_quarantined: int = 0
     #: Aggregate telemetry of the whole search (wall-clock breakdown,
     #: epoch counts, early-stop counts); see :meth:`build_telemetry`.
     telemetry: dict = field(default_factory=dict)
@@ -95,6 +120,15 @@ class FitReport:
             "acq_opt_seconds_total": sum(
                 t.metadata.get("acq_opt_s", 0.0) for t in self.trials
             ),
+            "n_retries": int(
+                sum(max(0, t.metadata.get("attempts", 1) - 1) for t in self.trials)
+            ),
+            "n_degraded_suggests": sum(
+                1 for t in self.trials if t.metadata.get("degraded_suggest", False)
+            ),
+            "n_resumed": self.n_resumed,
+            "n_quarantined": self.n_quarantined,
+            "degraded": self.degraded,
         }
         if feasible:
             out["mean_trial_train_seconds"] = out["train_seconds_total"] / len(feasible)
@@ -133,11 +167,35 @@ class LoadDynamics:
         self.optimizer_kwargs = dict(optimizer_kwargs or {})
 
     # ------------------------------------------------------------------
-    def fit(self, series: np.ndarray) -> tuple[LoadDynamicsPredictor, FitReport]:
+    def fit(
+        self,
+        series: np.ndarray,
+        *,
+        journal: str | Path | TrialJournal | None = None,
+        resume: bool = False,
+    ) -> tuple[LoadDynamicsPredictor, FitReport]:
         """Run the full Fig. 6 workflow on a JAR series.
 
         Returns the selected predictor and a :class:`FitReport` with the
         per-iteration trial history.
+
+        Parameters
+        ----------
+        journal:
+            Path (or :class:`~repro.resilience.TrialJournal`) of a
+            crash-safe JSONL trial journal.  Every completed trial is
+            fsynced to it before the next starts, so a crash loses at
+            most the in-flight trial.
+        resume:
+            Replay the journal's completed trials into the optimizer
+            (via ``tell``), restore its search state, and continue the
+            run from where it stopped.  The resumed run is bit-for-bit
+            identical to an uninterrupted one with the same seed.
+
+        When every trial is infeasible (or the journal's best config can
+        no longer be retrained), the fit *degrades* instead of raising:
+        it returns a naive last-value predictor and a report flagged
+        ``degraded=True``.
         """
         t_start = time.perf_counter()
         s = np.asarray(series, dtype=np.float64).ravel()
@@ -160,6 +218,9 @@ class LoadDynamics:
 
         def objective(config: dict) -> tuple[float, dict]:
             nonlocal n_infeasible
+            injector = _faults.active()
+            if injector is not None:
+                injector.maybe_fire("objective")
             value, model, meta = self._train_and_validate(
                 scaled, s, scaler, config, i_train_end, i_val_end
             )
@@ -169,21 +230,84 @@ class LoadDynamics:
                 best.update(mape=value, model=model, config=config)
             return value, meta
 
+        journal_obj = TrialJournal(journal) if isinstance(journal, (str, Path)) else journal
+        if resume and journal_obj is None:
+            raise ValueError("resume=True requires a journal path")
+        header = {
+            "optimizer": self.optimizer_cls.__name__,
+            "seed": cfg.seed,
+            "max_iters": cfg.max_iters,
+            "space": [repr(p) for p in self.space.params],
+        }
+
         with span(
             "loaddynamics.fit", n_intervals=int(n_total), max_iters=cfg.max_iters
         ) as root:
             optimizer = self._make_optimizer()
-            optimizer.run(objective, cfg.max_iters)
+            quarantine = (
+                Quarantine(cfg.quarantine_after) if cfg.quarantine_after else None
+            )
+            if quarantine is not None and hasattr(optimizer, "set_excluded"):
+                optimizer.set_excluded(quarantine.is_quarantined)
+
+            n_replayed = 0
+            if resume:
+                n_replayed, n_replayed_infeasible = self._replay_journal(
+                    journal_obj, header, optimizer, quarantine, best
+                )
+                n_infeasible += n_replayed_infeasible
+            try:
+                if journal_obj is not None:
+                    if resume:
+                        journal_obj.reopen()
+                    else:
+                        journal_obj.start(header)
+                self._drive(
+                    optimizer,
+                    objective,
+                    cfg.max_iters - n_replayed,
+                    journal_obj,
+                    quarantine,
+                )
+            finally:
+                if journal_obj is not None:
+                    journal_obj.close()
             root.set("n_trials", len(optimizer.history))
             root.set("n_infeasible", n_infeasible)
             if best["model"] is not None:
                 root.set("best_validation_mape", float(best["mape"]))
 
-        if best["model"] is None:
-            raise RuntimeError(
-                "no feasible hyperparameter set found; widen the search space "
-                "or provide a longer series"
+        degraded_reason = None
+        if best["model"] is None and best["config"] is not None:
+            # The best trial is known only from the replayed journal; one
+            # deterministic retraining (same config, same seed, same data)
+            # reconstructs its model.
+            logger.info("retraining journal-best config %s", best["config"])
+            _value, model, _meta = self._train_and_validate(
+                scaled, s, scaler, best["config"], i_train_end, i_val_end
             )
+            if model is not None:
+                best["model"] = model
+            else:
+                degraded_reason = "best_retrain_failed"
+
+        n_quarantined = len(quarantine) if quarantine is not None else 0
+        if best["model"] is None:
+            degraded_reason = degraded_reason or "no_feasible_trials"
+            return self._degraded_result(
+                s,
+                scaler,
+                optimizer,
+                n_infeasible,
+                n_replayed,
+                n_quarantined,
+                degraded_reason,
+                t_start,
+                root,
+                i_train_end,
+                i_val_end,
+            )
+
         hp = LSTMHyperparameters.from_dict(best["config"])
         predictor = LoadDynamicsPredictor(
             model=best["model"],
@@ -197,6 +321,8 @@ class LoadDynamics:
             trials=list(optimizer.history),
             total_seconds=time.perf_counter() - t_start,
             n_infeasible=n_infeasible,
+            n_resumed=n_replayed,
+            n_quarantined=n_quarantined,
         )
         report.telemetry = report.build_telemetry()
         report.telemetry["fit_span_seconds"] = root.duration_s
@@ -204,6 +330,150 @@ class LoadDynamics:
             "fit done: %d trials (%d infeasible), best MAPE %.2f%% in %.1fs",
             report.n_trials, n_infeasible, best["mape"], report.total_seconds,
         )
+        return predictor, report
+
+    # ------------------------------------------------------------------
+    # the resilient search driver
+    # ------------------------------------------------------------------
+    def _drive(self, optimizer, objective, n_iters, journal, quarantine) -> None:
+        """Suggest/evaluate/tell loop with journaling and quarantine.
+
+        Replaces ``optimizer.run``: each completed trial is fsynced to
+        the journal (config, value, metadata, search state) before the
+        next one starts, and repeat offenders are quarantined.
+        """
+        for _ in range(max(0, n_iters)):
+            try:
+                config = optimizer.suggest()
+            except StopIteration:  # grid exhausted
+                break
+            value, meta = unpack_objective(objective(config))
+            record = optimizer.tell(config, value, **meta)
+            if (
+                quarantine is not None
+                and record.metadata.get("reason") in _FAILURE_REASONS
+            ):
+                failures = quarantine.record_failure(config)
+                if quarantine.is_quarantined(config):
+                    _metrics.counter("trial.quarantined").inc()
+                    logger.warning(
+                        "config %s quarantined after %d failures", config, failures
+                    )
+                    if _events.enabled():
+                        _events.emit(
+                            "trial.quarantined", config=dict(config), failures=failures
+                        )
+            if journal is not None:
+                state = (
+                    optimizer.search_state()
+                    if hasattr(optimizer, "search_state")
+                    else None
+                )
+                journal.append_trial(
+                    record.iteration,
+                    record.config,
+                    record.value,
+                    record.metadata,
+                    state=state,
+                )
+
+    def _replay_journal(
+        self, journal: TrialJournal, header: dict, optimizer, quarantine, best: dict
+    ) -> tuple[int, int]:
+        """Feed a journal's completed trials back into a fresh optimizer.
+
+        Returns ``(n_replayed, n_infeasible)``.  Each trial is ``tell``-ed
+        with its recorded value (no retraining), the quarantine ledger is
+        rebuilt from the recorded failure reasons, and the optimizer's
+        search state (RNG/cursor) is restored from the last trial — after
+        which the continued run is deterministic.
+        """
+        stored_header, trials = TrialJournal.load(journal.path)
+        TrialJournal.check_header(stored_header, header)
+        n_infeasible = 0
+        last_state = None
+        for trial in trials:
+            meta = dict(trial.get("metadata") or {})
+            meta["replayed"] = True
+            record = optimizer.tell(trial["config"], trial["value"], **meta)
+            if meta.get("infeasible"):
+                n_infeasible += 1
+                if quarantine is not None and meta.get("reason") in _FAILURE_REASONS:
+                    quarantine.record_failure(record.config)
+            elif record.value < best["mape"]:
+                best.update(mape=record.value, config=record.config, model=None)
+            if trial.get("state") is not None:
+                last_state = trial["state"]
+        if last_state is not None and hasattr(optimizer, "restore_search_state"):
+            optimizer.restore_search_state(last_state)
+        logger.info(
+            "resumed from %s: replayed %d trials (%d infeasible)",
+            journal.path, len(trials), n_infeasible,
+        )
+        return len(trials), n_infeasible
+
+    def _degraded_result(
+        self,
+        s: np.ndarray,
+        scaler: MinMaxScaler,
+        optimizer,
+        n_infeasible: int,
+        n_replayed: int,
+        n_quarantined: int,
+        reason: str,
+        t_start: float,
+        root,
+        i_train_end: int,
+        i_val_end: int,
+    ) -> tuple[LoadDynamicsPredictor, FitReport]:
+        """Graceful degradation: hand back a naive last-value predictor.
+
+        The paper's workflow assumes step 4 always has a best model to
+        select; on a production cluster "every trial failed" must still
+        yield *some* predictor, so the degraded fit returns persistence
+        (last value) with the degradation flagged on the report.
+        """
+        val_pred = s[i_train_end - 1 : i_val_end - 1]
+        val_actual = s[i_train_end:i_val_end]
+        try:
+            naive_mape = float(mape(val_pred, val_actual))
+        except ValueError:
+            naive_mape = float("inf")
+        hp = LSTMHyperparameters(
+            history_len=1, cell_size=1, num_layers=1, batch_size=1
+        )
+        predictor = LoadDynamicsPredictor(
+            model=NaiveLastValueModel(),
+            scaler=scaler,
+            hyperparameters=hp,
+            validation_mape=naive_mape,
+        )
+        report = FitReport(
+            best_hyperparameters=hp,
+            best_validation_mape=naive_mape,
+            trials=list(optimizer.history),
+            total_seconds=time.perf_counter() - t_start,
+            n_infeasible=n_infeasible,
+            degraded=True,
+            degraded_reason=reason,
+            n_resumed=n_replayed,
+            n_quarantined=n_quarantined,
+        )
+        report.telemetry = report.build_telemetry()
+        report.telemetry["fit_span_seconds"] = root.duration_s
+        _metrics.counter("fit.degraded").inc()
+        logger.warning(
+            "fit degraded (%s) after %d trials (%d infeasible); returning "
+            "naive last-value predictor (validation MAPE %.2f%%)",
+            reason, report.n_trials, n_infeasible, naive_mape,
+        )
+        if _events.enabled():
+            _events.emit(
+                "fit.degraded",
+                reason=reason,
+                n_trials=report.n_trials,
+                n_infeasible=n_infeasible,
+            )
         return predictor, report
 
     # ------------------------------------------------------------------
@@ -240,8 +510,10 @@ class LoadDynamics:
         cfg = self.settings
         n = int(config["history_len"])
 
-        def infeasible(reason: str) -> tuple[float, None, dict]:
-            return _INFEASIBLE_PENALTY, None, {"infeasible": True, "reason": reason}
+        def infeasible(reason: str, **extra) -> tuple[float, None, dict]:
+            meta = {"infeasible": True, "reason": reason}
+            meta.update(extra)
+            return _INFEASIBLE_PENALTY, None, meta
 
         # Feasibility: the training split must yield enough windows.
         if i_train_end - n < cfg.min_train_windows:
@@ -254,35 +526,72 @@ class LoadDynamics:
         if X_val.shape[0] < 1:
             return infeasible("empty_validation_window")
 
-        model = LSTMRegressor(
-            hidden_size=int(config["cell_size"]),
-            num_layers=int(config["num_layers"]),
-            seed=cfg.seed,
-        )
+        # A diverged training is retried with a fresh weight seed and
+        # backed-off epochs/patience (bounded); a timed-out one is not —
+        # retrying a slow config would just burn the budget twice.
+        policy = RetryPolicy(max_retries=cfg.max_retries, backoff=cfg.retry_backoff)
+        last_failure: dict = {}
         t_train = time.perf_counter()
-        try:
-            history = model.fit(
-                X_train,
-                y_train,
-                epochs=cfg.epochs,
-                batch_size=int(config["batch_size"]),
-                lr=cfg.lr,
-                # Extended spaces (Section V) tune these; plain Table III
-                # spaces fall back to the fixed settings.
-                optimizer=str(config.get("optimizer", cfg.optimizer)),
-                loss=str(config.get("loss", cfg.loss)),
-                clip_norm=cfg.clip_norm,
-                validation=(X_val, y_val_scaled),
-                patience=cfg.patience,
+        for attempt in range(policy.attempts):
+            model = LSTMRegressor(
+                hidden_size=int(config["cell_size"]),
+                num_layers=int(config["num_layers"]),
+                seed=policy.seed_for(cfg.seed, attempt),
             )
-        except (FloatingPointError, np.linalg.LinAlgError):
-            return infeasible("training_diverged")
+            epoch_counter = EpochCounter()
+            callbacks: list = [epoch_counter]
+            if cfg.trial_timeout_s is not None:
+                callbacks.append(DeadlineCallback(cfg.trial_timeout_s))
+            try:
+                history = model.fit(
+                    X_train,
+                    y_train,
+                    epochs=policy.epochs_for(cfg.epochs, attempt),
+                    batch_size=int(config["batch_size"]),
+                    lr=cfg.lr,
+                    # Extended spaces (Section V) tune these; plain Table III
+                    # spaces fall back to the fixed settings.
+                    optimizer=str(config.get("optimizer", cfg.optimizer)),
+                    loss=str(config.get("loss", cfg.loss)),
+                    clip_norm=cfg.clip_norm,
+                    validation=(X_val, y_val_scaled),
+                    patience=policy.patience_for(cfg.patience, attempt),
+                    callbacks=callbacks,
+                )
+            except TrialTimeout as exc:
+                return infeasible(
+                    "trial_timeout",
+                    failing_epoch=exc.epoch,
+                    elapsed_s=exc.elapsed_s,
+                    attempts=attempt + 1,
+                )
+            except (FloatingPointError, OverflowError, np.linalg.LinAlgError) as exc:
+                last_failure = {
+                    "failing_epoch": epoch_counter.completed,
+                    "error": type(exc).__name__,
+                }
+                self._note_retry(config, attempt, policy, last_failure)
+                continue
+            bad_epochs = np.flatnonzero(~np.isfinite(history.train_loss))
+            if bad_epochs.size:
+                last_failure = {
+                    "failing_epoch": int(bad_epochs[0]),
+                    "error": "nonfinite_train_loss",
+                }
+                self._note_retry(config, attempt, policy, last_failure)
+                continue
+            break  # trained cleanly
+        else:
+            return infeasible(
+                "training_diverged", attempts=policy.attempts, **last_failure
+            )
         meta = {
             "train_seconds": time.perf_counter() - t_train,
             "epochs_run": history.epochs_run,
             "stopped_early": history.stopped_early,
             "best_epoch": history.best_epoch,
             "n_train_windows": int(len(y_train)),
+            "attempts": attempt + 1,
         }
 
         # Validation error in *raw* JAR units (MAPE is scale-sensitive).
@@ -296,6 +605,28 @@ class LoadDynamics:
         if not np.isfinite(value):
             return infeasible("validation_mape_nonfinite")
         return value, model, meta
+
+    def _note_retry(
+        self, config: dict, attempt: int, policy: RetryPolicy, failure: dict
+    ) -> None:
+        """Telemetry for one failed training attempt (before any retry)."""
+        will_retry = attempt < policy.max_retries
+        logger.log(
+            20 if will_retry else 10,  # INFO while retrying, DEBUG when giving up
+            "training attempt %d/%d failed (%s at epoch %s) for %s%s",
+            attempt + 1,
+            policy.attempts,
+            failure.get("error"),
+            failure.get("failing_epoch"),
+            config,
+            "; retrying with reseed" if will_retry else "",
+        )
+        if will_retry:
+            _metrics.counter("trial.retries").inc()
+            if _events.enabled():
+                _events.emit(
+                    "trial.retry", attempt=attempt + 1, config=dict(config), **failure
+                )
 
     # ------------------------------------------------------------------
     def evaluate(

@@ -21,7 +21,36 @@ from repro.core.windowing import windows_for_range
 from repro.nn.network import LSTMRegressor
 from repro.nn.serialization import load_regressor, save_regressor
 
-__all__ = ["LoadDynamicsPredictor"]
+__all__ = ["LoadDynamicsPredictor", "NaiveLastValueModel"]
+
+
+class NaiveLastValueModel:
+    """Persistence model used when the whole optimization degrades.
+
+    Drop-in for :class:`LSTMRegressor` in the predictor plumbing:
+    ``predict`` returns the last value of each window, which — with
+    ``history_len=1`` hyperparameters — makes the predictor a plain
+    last-value forecaster.  Returned by
+    :meth:`repro.core.framework.LoadDynamics.fit` when every trial was
+    infeasible, so callers always receive *some* usable predictor
+    (flagged via ``FitReport.degraded``).
+    """
+
+    hidden_size = 1
+    num_layers = 1
+    input_size = 1
+    degraded = True
+
+    def predict(self, x: np.ndarray, batch_size: int = 4096) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 3:
+            x = x[:, :, 0]
+        if x.ndim != 2:
+            raise ValueError(f"expected (N, n) or (N, n, 1) windows, got {x.shape}")
+        return x[:, -1].copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "NaiveLastValueModel()"
 
 
 class LoadDynamicsPredictor(Predictor):
@@ -89,6 +118,11 @@ class LoadDynamicsPredictor(Predictor):
     # ------------------------------------------------------------------
     def save(self, directory: str | Path) -> Path:
         """Persist model weights + scaler + hyperparameters to a directory."""
+        if getattr(self.model, "degraded", False):
+            raise ValueError(
+                "cannot persist a degraded (naive-fallback) predictor; "
+                "re-run the optimization with feasible settings first"
+            )
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         save_regressor(self.model, directory / "model.npz")

@@ -145,6 +145,11 @@ class GaussianProcessRegressor:
     # ------------------------------------------------------------------
     def fit(self, X: np.ndarray, y: np.ndarray) -> "GaussianProcessRegressor":
         """Fit on rows ``X`` with scalar targets ``y``."""
+        from repro.resilience import faults as _faults
+
+        injector = _faults.active()
+        if injector is not None:
+            injector.maybe_fire("gp.fit")
         X = np.asarray(X, dtype=np.float64)
         y = np.asarray(y, dtype=np.float64).ravel()
         if X.ndim != 2:

@@ -21,7 +21,7 @@ from repro.nn.losses import huber_loss, mae_loss, mse_loss
 from repro.nn.lstm import LSTMLayer
 from repro.nn.network import LSTMRegressor, TrainingHistory
 from repro.nn.optimizers import SGD, Adam, RMSProp, make_optimizer
-from repro.nn.serialization import load_regressor, save_regressor
+from repro.nn.serialization import CorruptModelError, load_regressor, save_regressor
 
 __all__ = [
     "sigmoid",
@@ -42,5 +42,6 @@ __all__ = [
     "RMSProp",
     "make_optimizer",
     "save_regressor",
+    "CorruptModelError",
     "load_regressor",
 ]

@@ -190,6 +190,15 @@ class LSTMRegressor:
         numbers :class:`TrainingHistory` accumulates plus the epoch
         wall-clock duration.
         """
+        from repro.resilience import faults as _faults
+
+        injector = _faults.active()
+        nan_loss_epoch: int | None = None
+        if injector is not None:
+            fired = injector.maybe_fire("nn.fit")
+            if "nan_loss" in fired:
+                spec_arg = fired["nan_loss"].arg
+                nan_loss_epoch = int(spec_arg) if spec_arg is not None else 0
         x = self._coerce_input(x)
         y = np.asarray(y, dtype=np.float64).ravel()
         if x.shape[0] != y.shape[0]:
@@ -240,6 +249,8 @@ class LSTMRegressor:
                 opt.step(params, grads)
                 epoch_loss += value
                 n_batches += 1
+            if nan_loss_epoch is not None and epoch == nan_loss_epoch:
+                epoch_loss = float("nan")
             history.train_loss.append(epoch_loss / n_batches)
             history.grad_norm.append(epoch_norm / n_batches)
 

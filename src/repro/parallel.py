@@ -22,6 +22,10 @@ from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, TypeVar
 
+from repro.obs.logging import get_logger
+
+logger = get_logger("parallel")
+
 T = TypeVar("T")
 R = TypeVar("R")
 
@@ -35,17 +39,30 @@ def effective_workers(n_workers: int | None = None) -> int:
     """Resolve the worker count.
 
     ``None`` means "use all cores", honouring :data:`MAX_WORKERS_ENV`.
-    Values below 1 are clamped to 1 (serial).
+    Values below 1 are clamped to 1 (serial); a malformed or sub-serial
+    env cap is clamped with a ``repro.parallel`` warning rather than
+    silently forcing a surprise serial run.
     """
-    cap = os.environ.get(MAX_WORKERS_ENV)
+    cap_text = os.environ.get(MAX_WORKERS_ENV)
     cpu = os.cpu_count() or 1
     if n_workers is None:
         n_workers = cpu
-    if cap is not None:
+    if cap_text is not None:
         try:
-            n_workers = min(n_workers, max(1, int(cap)))
+            cap = int(cap_text)
         except ValueError:
-            pass
+            logger.warning(
+                "ignoring non-integer %s=%r", MAX_WORKERS_ENV, cap_text
+            )
+        else:
+            if cap < 1:
+                logger.warning(
+                    "%s=%d is below 1; clamping to 1 (serial execution)",
+                    MAX_WORKERS_ENV,
+                    cap,
+                )
+                cap = 1
+            n_workers = min(n_workers, cap)
     return max(1, min(n_workers, cpu))
 
 

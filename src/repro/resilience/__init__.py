@@ -1,0 +1,60 @@
+"""``repro.resilience`` — fault tolerance for the self-optimization loop.
+
+The paper's Fig. 6 workflow is a long chain of expensive, failure-prone
+LSTM trainings; this package makes the chain survivable:
+
+=========================  ===========================================
+``repro.resilience.journal``  crash-safe JSONL trial journal + resume
+``repro.resilience.retry``    deadlines, retry-with-reseed, quarantine
+``repro.resilience.faults``   deterministic fault injection for tests
+=========================  ===========================================
+
+Quick use::
+
+    from repro.core import LoadDynamics, FrameworkSettings
+
+    ld = LoadDynamics(settings=FrameworkSettings.reduced())
+    # Crash-safe: every trial lands in the journal before the next starts.
+    predictor, report = ld.fit(series, journal="run.jsonl")
+    # After a crash, replay the journal and continue where it stopped:
+    predictor, report = ld.fit(series, journal="run.jsonl", resume=True)
+
+See README "Resilience & recovery" for the journal format and the
+``REPRO_FAULTS`` fault-injection grammar.
+"""
+
+from repro.resilience.faults import (
+    FAULTS_ENV,
+    FaultInjector,
+    FaultSpec,
+    SimulatedCrash,
+    clear_injector,
+    injected,
+    set_injector,
+)
+from repro.resilience.journal import JOURNAL_VERSION, JournalError, TrialJournal
+from repro.resilience.retry import (
+    DeadlineCallback,
+    Quarantine,
+    RetryPolicy,
+    TrialTimeout,
+    config_key,
+)
+
+__all__ = [
+    "FAULTS_ENV",
+    "FaultInjector",
+    "FaultSpec",
+    "SimulatedCrash",
+    "clear_injector",
+    "injected",
+    "set_injector",
+    "JOURNAL_VERSION",
+    "JournalError",
+    "TrialJournal",
+    "DeadlineCallback",
+    "Quarantine",
+    "RetryPolicy",
+    "TrialTimeout",
+    "config_key",
+]

@@ -1,0 +1,171 @@
+"""Crash-safe trial journal: append-only JSONL checkpointing for the BO loop.
+
+The Fig. 6 workflow runs ``maxIters`` expensive LSTM trainings
+back-to-back; a crash at trial 37/50 must not throw away the 36
+completed trials.  Every finished trial is appended — config, objective
+value, metadata, and the optimizer's search state (RNG state or grid
+cursor) — to a JSONL journal, each line flushed and fsynced before the
+next trial starts.  Resuming replays the journal into a fresh optimizer
+via ``tell()`` and restores the recorded search state, after which the
+continued run is bit-for-bit identical to an uninterrupted one.
+
+File layout::
+
+    {"kind": "header", "version": 1, "optimizer": ..., "seed": ..., ...}
+    {"kind": "trial", "iteration": 0, "config": {...}, "value": ..., "metadata": {...}, "state": {...}}
+    ...
+
+A crash mid-append leaves at most one truncated final line; the reader
+drops it (and anything after a corrupt line) with a warning instead of
+failing, so a journal is always resumable up to its last durable trial.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.obs.logging import get_logger
+
+__all__ = ["TrialJournal", "JournalError", "JOURNAL_VERSION"]
+
+logger = get_logger("resilience.journal")
+
+JOURNAL_VERSION = 1
+
+
+class JournalError(ValueError):
+    """Unusable journal: missing/invalid header or incompatible run."""
+
+
+def _json_default(obj: Any):
+    item = getattr(obj, "item", None)
+    if callable(item):  # numpy scalars
+        return item()
+    if isinstance(obj, (set, tuple)):
+        return list(obj)
+    return str(obj)
+
+
+class TrialJournal:
+    """Append-only JSONL journal of one optimization run.
+
+    Writing: :meth:`start` (fresh run, truncates) or :meth:`reopen`
+    (resumed run, appends), then :meth:`append_trial` once per completed
+    trial, then :meth:`close`.  Every append is flushed and fsynced so a
+    SIGKILL loses at most the in-flight trial.
+
+    Reading: :meth:`load` is a classmethod and never needs an instance.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._fh = None
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def start(self, header: dict) -> None:
+        """Begin a fresh journal (truncating any previous file)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "w", encoding="utf-8")
+        record = {"kind": "header", "version": JOURNAL_VERSION, "time": time.time()}
+        record.update(header)
+        self._write(record)
+
+    def reopen(self) -> None:
+        """Open an existing journal for appending (resume path)."""
+        if not self.path.exists():
+            raise JournalError(f"cannot resume: journal {self.path} does not exist")
+        self._fh = open(self.path, "a", encoding="utf-8")
+
+    def append_trial(
+        self,
+        iteration: int,
+        config: dict,
+        value: float,
+        metadata: dict | None = None,
+        state: dict | None = None,
+    ) -> None:
+        record = {
+            "kind": "trial",
+            "iteration": int(iteration),
+            "config": dict(config),
+            "value": float(value),
+            "metadata": dict(metadata or {}),
+        }
+        if state is not None:
+            record["state"] = state
+        self._write(record)
+
+    def _write(self, record: dict) -> None:
+        if self._fh is None:
+            raise RuntimeError("journal not open; call start() or reopen() first")
+        self._fh.write(json.dumps(record, default=_json_default) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "TrialJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: str | Path) -> tuple[dict, list[dict]]:
+        """Read ``(header, trials)`` from a journal file.
+
+        Tolerates a truncated/corrupt tail (the signature of a crash
+        mid-append): parsing stops at the first bad line with a warning.
+        A missing or malformed *header* line raises :class:`JournalError`
+        — that file was never a journal.
+        """
+        path = Path(path)
+        records: list[dict] = []
+        with open(path, encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, start=1):
+                if not line.strip():
+                    continue
+                try:
+                    rec = json.loads(line)
+                except json.JSONDecodeError:
+                    logger.warning(
+                        "journal %s: dropping corrupt tail from line %d "
+                        "(crash mid-append?)",
+                        path,
+                        lineno,
+                    )
+                    break
+                records.append(rec)
+        if not records or records[0].get("kind") != "header":
+            raise JournalError(f"{path} has no journal header line")
+        header = records[0]
+        if header.get("version") != JOURNAL_VERSION:
+            raise JournalError(
+                f"{path}: unsupported journal version {header.get('version')!r}"
+            )
+        trials = [r for r in records[1:] if r.get("kind") == "trial"]
+        return header, trials
+
+    @staticmethod
+    def check_header(header: dict, expected: dict) -> None:
+        """Raise :class:`JournalError` when a resumed run's identity keys
+        (optimizer, seed, search space, ...) disagree with the journal."""
+        for key, want in expected.items():
+            got = header.get(key)
+            if got != want:
+                raise JournalError(
+                    f"journal was written by a different run: "
+                    f"{key}={got!r} but this run has {key}={want!r}"
+                )

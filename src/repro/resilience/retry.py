@@ -1,0 +1,154 @@
+"""Trial-level failure isolation: deadlines, bounded retries, quarantine.
+
+One bad hyperparameter set must cost at most one bounded trial, never
+the run:
+
+* :class:`DeadlineCallback` — enforces a per-trial wall-clock budget
+  from inside the training loop (checked at epoch boundaries, raising
+  :class:`TrialTimeout`);
+* :class:`RetryPolicy` — a diverged training is retried with a fresh
+  weight seed and exponentially backed-off epochs/patience, so a config
+  that only diverges under one unlucky init still gets scored while a
+  truly unstable one fails fast;
+* :class:`Quarantine` — a config that fails ``threshold`` times is
+  banned from ever being suggested again (threaded into the optimizers
+  via ``set_excluded``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.obs.callbacks import TrainingCallback
+
+__all__ = [
+    "TrialTimeout",
+    "DeadlineCallback",
+    "RetryPolicy",
+    "Quarantine",
+    "config_key",
+]
+
+
+class TrialTimeout(Exception):
+    """A trial exceeded its wall-clock deadline (recorded, not fatal)."""
+
+    def __init__(self, elapsed_s: float, epoch: int):
+        super().__init__(
+            f"trial exceeded its deadline after {elapsed_s:.3f}s (epoch {epoch})"
+        )
+        self.elapsed_s = float(elapsed_s)
+        self.epoch = int(epoch)
+
+
+class DeadlineCallback(TrainingCallback):
+    """Raises :class:`TrialTimeout` once training runs past ``timeout_s``.
+
+    The clock starts at construction (immediately before ``fit``), so
+    time spent in injected slowdowns or data preparation inside the
+    trial counts against the budget.  The check runs at epoch
+    boundaries — the finest granularity that leaves the model in a
+    consistent state.
+    """
+
+    def __init__(self, timeout_s: float):
+        if timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+        self.timeout_s = float(timeout_s)
+        self._t0 = time.perf_counter()
+
+    def on_epoch_end(self, epoch: int, logs: dict) -> None:
+        elapsed = time.perf_counter() - self._t0
+        if elapsed > self.timeout_s:
+            raise TrialTimeout(elapsed, epoch)
+
+
+class EpochCounter(TrainingCallback):
+    """Counts completed epochs so an exception mid-training can be
+    attributed to the epoch it interrupted."""
+
+    def __init__(self):
+        self.completed = 0
+
+    def on_epoch_end(self, epoch: int, logs: dict) -> None:
+        self.completed = epoch + 1
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry-with-reseed for ``training_diverged`` trials.
+
+    Attempt ``k`` (0-based) trains with seed ``base_seed + k *
+    reseed_stride`` and ``epochs/patience`` scaled by ``backoff**k`` —
+    each retry is cheaper than the last, bounding the worst-case cost of
+    a config that diverges on every attempt.
+    """
+
+    max_retries: int = 1
+    backoff: float = 0.5
+    reseed_stride: int = 7919  # a prime, so reseeds never collide across trials
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if not 0.0 < self.backoff <= 1.0:
+            raise ValueError("backoff must be in (0, 1]")
+
+    @property
+    def attempts(self) -> int:
+        return self.max_retries + 1
+
+    def seed_for(self, base_seed: int, attempt: int) -> int:
+        return int(base_seed) + int(attempt) * self.reseed_stride
+
+    def epochs_for(self, base_epochs: int, attempt: int) -> int:
+        return max(1, int(round(base_epochs * self.backoff**attempt)))
+
+    def patience_for(self, base_patience: int, attempt: int) -> int:
+        return max(1, int(round(base_patience * self.backoff**attempt)))
+
+
+def config_key(config: dict) -> tuple:
+    """Canonical hashable identity of a config dict."""
+    return tuple(sorted(config.items()))
+
+
+class Quarantine:
+    """Failure ledger: configs that failed ``threshold`` times are banned.
+
+    ``is_quarantined`` is the predicate handed to the optimizers'
+    ``set_excluded`` so a poisoned config is never re-suggested —
+    without it, the GP's penalty steering is the only (soft) defense
+    and random/grid search have none at all.
+    """
+
+    def __init__(self, threshold: int = 3):
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.threshold = int(threshold)
+        self._failures: dict[tuple, int] = {}
+        self._configs: dict[tuple, dict] = {}
+
+    def record_failure(self, config: dict) -> int:
+        """Count one failure; returns the config's total failure count."""
+        key = config_key(config)
+        self._failures[key] = self._failures.get(key, 0) + 1
+        self._configs.setdefault(key, dict(config))
+        return self._failures[key]
+
+    def failures(self, config: dict) -> int:
+        return self._failures.get(config_key(config), 0)
+
+    def is_quarantined(self, config: dict) -> bool:
+        return self._failures.get(config_key(config), 0) >= self.threshold
+
+    def quarantined_configs(self) -> list[dict]:
+        return [
+            dict(self._configs[k])
+            for k, n in self._failures.items()
+            if n >= self.threshold
+        ]
+
+    def __len__(self) -> int:
+        return sum(1 for n in self._failures.values() if n >= self.threshold)

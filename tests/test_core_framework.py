@@ -83,9 +83,10 @@ class TestWorkflow:
             rep2.best_validation_mape, rel=1e-9
         )
 
-    def test_infeasible_history_penalized(self, tiny_settings):
+    def test_infeasible_history_degrades_gracefully(self, tiny_settings):
         """History lengths longer than the training split must be counted
-        infeasible, not crash."""
+        infeasible; an all-infeasible search must degrade to the naive
+        last-value fallback instead of raising."""
         space = SearchSpace(
             [
                 IntParam("history_len", 500, 600),
@@ -95,8 +96,14 @@ class TestWorkflow:
             ]
         )
         ld = LoadDynamics(space=space, settings=tiny_settings)
-        with pytest.raises(RuntimeError, match="no feasible"):
-            ld.fit(np.abs(np.sin(np.arange(100.0))) + 1.0)
+        series = np.abs(np.sin(np.arange(100.0))) + 1.0
+        predictor, report = ld.fit(series)
+        assert report.degraded
+        assert report.degraded_reason == "no_feasible_trials"
+        assert report.n_infeasible == report.n_trials == ld.settings.max_iters
+        assert all(t.metadata["infeasible"] for t in report.trials)
+        # The fallback is persistence: next prediction == last observation.
+        assert predictor.predict_next(series) == pytest.approx(series[-1])
 
     def test_too_short_series_raises(self, tiny_space, tiny_settings):
         ld = LoadDynamics(space=tiny_space, settings=tiny_settings)

@@ -62,6 +62,24 @@ class TestEffectiveWorkers:
         monkeypatch.setenv(MAX_WORKERS_ENV, "not-a-number")
         assert effective_workers(2) >= 1
 
+    @pytest.mark.parametrize("bad_cap", ["0", "-3"])
+    def test_subserial_env_clamped_to_one_with_warning(
+        self, monkeypatch, caplog, bad_cap
+    ):
+        """Regression: REPRO_MAX_WORKERS<=0 used to propagate into
+        ProcessPoolExecutor(max_workers=0) and crash; it must clamp to
+        serial and say so."""
+        monkeypatch.setenv(MAX_WORKERS_ENV, bad_cap)
+        with caplog.at_level("WARNING", logger="repro.parallel"):
+            assert effective_workers(8) == 1
+        assert any("clamping to 1" in r.message for r in caplog.records)
+
+    def test_noninteger_env_warns(self, monkeypatch, caplog):
+        monkeypatch.setenv(MAX_WORKERS_ENV, "many")
+        with caplog.at_level("WARNING", logger="repro.parallel"):
+            effective_workers(2)
+        assert any("non-integer" in r.message for r in caplog.records)
+
 
 class TestParallelMap:
     def test_serial_matches_map(self):
