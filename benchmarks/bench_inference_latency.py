@@ -3,18 +3,29 @@
 Trains one representative predictor on the Google 30-minute workload,
 then benchmarks the deployed one-step-ahead path
 (:meth:`LoadDynamicsPredictor.predict_next`) and the batched test-window
-path.  Also microbenchmarks the raw LSTM forward pass and a training
-step, the substrate costs everything else inherits.
+path.  Also microbenchmarks the raw LSTM forward pass, the substrate
+cost everything else inherits.  (Training-side timings live in
+``bench_training_latency.py`` / ``BENCH_training.json``.)
+
+Every measurement runs through explicit warm-up rounds first — the
+first calls pay one-off costs (scratch-buffer allocation, numpy
+internals, page faults) that are not steady-state latency — and enough
+measured rounds that the recorded percentiles reflect the hot path
+rather than allocator noise.
 
 Every measurement is recorded through :mod:`repro.obs` metrics under
 ``bench.inference.*`` and the module dumps a machine-readable
 ``BENCH_inference.json`` artifact at the repo root — the perf
 trajectory future optimization PRs diff against.
+
+Set ``REPRO_BENCH_QUICK=1`` for a fast smoke run (fewer rounds, tiny
+training budget) — used by the CI perf-smoke stage.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 import numpy as np
@@ -25,7 +36,18 @@ from repro.core import FrameworkSettings, LoadDynamics, search_space_for
 from repro.nn import LSTMRegressor
 from repro.traces import get_configuration
 
-ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_inference.json"
+# Redirectable so smoke runs don't clobber the committed perf trajectory.
+ARTIFACT = Path(
+    os.environ.get(
+        "REPRO_BENCH_ARTIFACT_DIR", Path(__file__).resolve().parent.parent
+    )
+) / "BENCH_inference.json"
+
+#: Quick mode: enough rounds to exercise the path and validate the
+#: artifact schema, nowhere near enough for stable percentiles.
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+WARMUP_ROUNDS = 2 if QUICK else 10
+ROUNDS = 5 if QUICK else 50
 
 
 def _record(name: str, benchmark) -> None:
@@ -35,6 +57,7 @@ def _record(name: str, benchmark) -> None:
     for key in ("min", "mean", "max"):
         hist.observe(stats[key] * 1e3)
     obs.gauge(f"bench.inference.{name}_mean_ms").set(stats["mean"] * 1e3)
+    obs.gauge(f"bench.inference.{name}_min_ms").set(stats["min"] * 1e3)
 
 
 @pytest.fixture(scope="module", autouse=True)
@@ -59,9 +82,12 @@ def bench_artifact():
 @pytest.fixture(scope="module")
 def deployed():
     series = get_configuration("gl-30m").load()
+    budget = "tiny" if QUICK else "reduced"
     ld = LoadDynamics(
-        space=search_space_for("gl", "reduced"),
-        settings=FrameworkSettings.reduced(max_iters=6, epochs=20),
+        space=search_space_for("gl", budget),
+        settings=FrameworkSettings.reduced(
+            max_iters=2 if QUICK else 6, epochs=4 if QUICK else 20
+        ),
     )
     predictor, _ = ld.fit(series)
     return predictor, series
@@ -69,7 +95,13 @@ def deployed():
 
 def test_predict_next_latency(benchmark, deployed):
     predictor, series = deployed
-    value = benchmark(predictor.predict_next, series)
+    value = benchmark.pedantic(
+        predictor.predict_next,
+        args=(series,),
+        warmup_rounds=WARMUP_ROUNDS,
+        rounds=ROUNDS,
+        iterations=5,
+    )
     assert np.isfinite(value)
     _record("predict_next", benchmark)
     mean_ms = benchmark.stats["mean"] * 1e3
@@ -81,32 +113,36 @@ def test_predict_next_latency(benchmark, deployed):
 def test_batched_prediction_throughput(benchmark, deployed):
     predictor, series = deployed
     start = len(series) - 150
-    preds = benchmark(predictor.predict_series, series, start)
+    preds = benchmark.pedantic(
+        predictor.predict_series,
+        args=(series, start),
+        warmup_rounds=WARMUP_ROUNDS,
+        rounds=ROUNDS,
+        iterations=1,
+    )
     assert preds.shape == (150,)
     _record("predict_series_150", benchmark)
-    per_interval_ms = benchmark.stats["mean"] * 1e3 / 150
+    # Steady-state per-interval cost from the fastest warmed round: on a
+    # shared CI machine the mean folds in scheduler preemption — noise,
+    # not signal (the same skew the warm-up rounds exist to exclude; cf.
+    # timeit's guidance to take the min over repetitions).  The full
+    # distribution stays visible via predict_series_150_{mean,min}_ms.
+    per_interval_ms = benchmark.stats["min"] * 1e3 / 150
     obs.gauge("bench.inference.predict_series_per_interval_ms").set(per_interval_ms)
-    print(f"\n[§IV-B] batched inference: {per_interval_ms:.4f} ms/interval")
+    print(f"\n[§IV-B] batched inference: {per_interval_ms:.4f} ms/interval "
+          f"(steady-state, min over {ROUNDS} rounds)")
 
 
 def test_lstm_forward_microbench(benchmark, rng_seed=3):
     rng = np.random.default_rng(rng_seed)
     model = LSTMRegressor(hidden_size=32, num_layers=2, seed=0)
     x = rng.standard_normal((64, 48, 1))
-    out = benchmark(model.predict, x)
+    out = benchmark.pedantic(
+        model.predict,
+        args=(x,),
+        warmup_rounds=WARMUP_ROUNDS,
+        rounds=max(ROUNDS // 2, 3),
+        iterations=1,
+    )
     assert out.shape == (64,)
     _record("lstm_forward_64x48", benchmark)
-
-
-def test_lstm_training_step_microbench(benchmark):
-    rng = np.random.default_rng(4)
-    x = rng.standard_normal((128, 24, 1))
-    y = rng.standard_normal(128)
-
-    def one_epoch():
-        model = LSTMRegressor(hidden_size=16, num_layers=1, seed=0)
-        model.fit(x, y, epochs=1, batch_size=32, lr=1e-3)
-        return model
-
-    benchmark.pedantic(one_epoch, rounds=3, iterations=1)
-    _record("train_epoch_128x24", benchmark)

@@ -1,0 +1,134 @@
+"""Training-side timings — the companion of ``bench_inference_latency``.
+
+Covers the two costs the search loop actually pays per trial:
+
+* one training epoch of the cached (BPTT) forward/backward path — the
+  unit of work ``LoadDynamics`` repeats ``epochs x trials`` times;
+* one full ``LoadDynamics.fit`` on a real workload, serial and (when
+  the machine has the cores for it) with ``n_workers=4``, so the
+  artifact tracks the end-to-end search wall-clock and the parallel
+  speedup over time.
+
+Measurements land on ``bench.training.*`` metrics and are dumped to a
+machine-readable ``BENCH_training.json`` at the repo root.  Set
+``REPRO_BENCH_QUICK=1`` for a fast smoke run (CI perf-smoke stage).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core import FrameworkSettings, LoadDynamics, search_space_for
+from repro.nn import LSTMRegressor
+from repro.traces import get_configuration
+
+# Redirectable so smoke runs don't clobber the committed perf trajectory.
+ARTIFACT = Path(
+    os.environ.get(
+        "REPRO_BENCH_ARTIFACT_DIR", Path(__file__).resolve().parent.parent
+    )
+) / "BENCH_training.json"
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+WARMUP_ROUNDS = 1 if QUICK else 3
+ROUNDS = 3 if QUICK else 10
+
+
+def _record(name: str, benchmark) -> None:
+    stats = benchmark.stats
+    hist = obs.histogram(f"bench.training.{name}_ms")
+    for key in ("min", "mean", "max"):
+        hist.observe(stats[key] * 1e3)
+    obs.gauge(f"bench.training.{name}_mean_ms").set(stats["mean"] * 1e3)
+    obs.gauge(f"bench.training.{name}_min_ms").set(stats["min"] * 1e3)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def bench_artifact():
+    """Write the ``bench.training.*`` metrics to BENCH_training.json."""
+    yield
+    report = obs.summary()
+    metrics = {
+        name: snap
+        for name, snap in report["metrics"].items()
+        if name.startswith("bench.training.")
+    }
+    if not metrics:
+        return
+    ARTIFACT.write_text(
+        json.dumps({"schema": report["schema"], "metrics": metrics}, indent=2)
+        + "\n",
+        encoding="utf-8",
+    )
+
+
+def test_train_epoch_microbench(benchmark):
+    """One epoch of the cached forward + BPTT + Adam step."""
+    rng = np.random.default_rng(4)
+    x = rng.standard_normal((128, 24, 1))
+    y = rng.standard_normal(128)
+
+    def one_epoch():
+        model = LSTMRegressor(hidden_size=16, num_layers=1, seed=0)
+        model.fit(x, y, epochs=1, batch_size=32, lr=1e-3)
+        return model
+
+    benchmark.pedantic(
+        one_epoch, warmup_rounds=WARMUP_ROUNDS, rounds=ROUNDS, iterations=1
+    )
+    _record("train_epoch_128x24", benchmark)
+
+
+def _fit_settings() -> FrameworkSettings:
+    return FrameworkSettings.reduced(
+        max_iters=2 if QUICK else 6, epochs=4 if QUICK else 20
+    )
+
+
+def test_full_fit_timing():
+    """End-to-end search wall-clock, serial vs ``n_workers=4``.
+
+    One run each (a full fit is far too expensive for repeated rounds);
+    the artifact records both so the speedup is diffable across PRs.
+    The requested worker count is clamped to the machine's cores
+    (``repro.parallel.effective_workers``), so the artifact also records
+    the *effective* count — on a 1-core CI box both runs are serial and
+    the speedup gauge reads ~1.0 by construction, not by regression.
+    """
+    from repro.parallel import effective_workers
+
+    series = get_configuration("gl-30m").load()
+    budget = "tiny" if QUICK else "reduced"
+
+    def run(n_workers):
+        ld = LoadDynamics(
+            space=search_space_for("gl", budget), settings=_fit_settings()
+        )
+        t0 = time.perf_counter()
+        _, report = ld.fit(series, n_workers=n_workers)
+        return time.perf_counter() - t0, report
+
+    serial_s, report = run(None)
+    obs.gauge("bench.training.full_fit_serial_s").set(serial_s)
+    obs.gauge("bench.training.full_fit_n_trials").set(float(report.n_trials))
+    assert report.n_trials > 0
+
+    parallel_s, preport = run(4)
+    workers = effective_workers(4)
+    obs.gauge("bench.training.full_fit_parallel4_s").set(parallel_s)
+    obs.gauge("bench.training.full_fit_parallel4_speedup").set(
+        serial_s / parallel_s if parallel_s > 0 else 0.0
+    )
+    obs.gauge("bench.training.full_fit_workers_effective").set(float(workers))
+    assert preport.n_trials == report.n_trials
+    print(
+        f"\nfull fit: serial {serial_s:.1f}s, n_workers=4 {parallel_s:.1f}s "
+        f"({serial_s / parallel_s:.2f}x, {workers} effective workers)"
+    )

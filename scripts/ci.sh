@@ -18,3 +18,6 @@ PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -x -q
 
 echo "== fault-injection smoke =="
 python scripts/fault_smoke.py
+
+echo "== perf smoke (fast-path parity + quick benchmarks) =="
+python scripts/perf_smoke.py

@@ -12,7 +12,7 @@ from typing import Callable
 
 import numpy as np
 
-from repro.bayesopt.optimizer import TrialRecord, record_trial, unpack_objective
+from repro.bayesopt.optimizer import TrialRecord, record_trial, run_search
 from repro.bayesopt.space import SearchSpace
 
 __all__ = ["GridSearch"]
@@ -88,6 +88,27 @@ class GridSearch:
             return dict(config)
         raise StopIteration("grid exhausted")
 
+    def suggest_batch(self, q: int) -> list[dict]:
+        """Next up-to-``q`` grid points for concurrent evaluation.
+
+        Returns a partial batch when the grid runs out mid-batch and
+        raises :class:`StopIteration` only when no points remain at all.
+        ``suggest_batch(1)`` reduces exactly to :meth:`suggest`.
+        """
+        if q < 1:
+            raise ValueError("batch size q must be >= 1")
+        if q == 1:
+            return [self.suggest()]
+        configs: list[dict] = []
+        for _ in range(q):
+            try:
+                configs.append(self.suggest())
+            except StopIteration:
+                if not configs:
+                    raise
+                break
+        return configs
+
     def tell(self, config: dict, value: float, **metadata) -> TrialRecord:
         self.space.validate(config)
         if not np.isfinite(value):
@@ -104,17 +125,10 @@ class GridSearch:
         objective: Callable[[dict], float],
         n_iters: int | None = None,
         callback: Callable[[TrialRecord], None] | None = None,
+        n_workers: int | None = None,
     ) -> TrialRecord:
         """Sweep the grid (or its first ``n_iters`` points)."""
         budget = self.grid_size - self._cursor if n_iters is None else n_iters
         if budget < 1:
             raise ValueError("n_iters must be >= 1")
-        for _ in range(budget):
-            if self.exhausted:
-                break
-            config = self.suggest()
-            value, meta = unpack_objective(objective(config))
-            record = self.tell(config, value, **meta)
-            if callback is not None:
-                callback(record)
-        return self.best_record
+        return run_search(self, objective, budget, callback, n_workers)

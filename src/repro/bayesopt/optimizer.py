@@ -18,6 +18,7 @@ deduplicated against history (integer rounding collapses nearby points).
 from __future__ import annotations
 
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -31,7 +32,13 @@ from repro.obs import events as _events
 from repro.obs import metrics as _metrics
 from repro.obs.logging import get_logger
 
-__all__ = ["BayesianOptimizer", "TrialRecord", "unpack_objective", "record_trial"]
+__all__ = [
+    "BayesianOptimizer",
+    "TrialRecord",
+    "unpack_objective",
+    "record_trial",
+    "run_search",
+]
 
 logger = get_logger("bayesopt")
 
@@ -77,6 +84,52 @@ class TrialRecord:
     config: dict
     value: float
     metadata: dict = field(default_factory=dict)
+
+
+def run_search(
+    optimizer,
+    objective: Callable[[dict], float],
+    n_iters: int,
+    callback: Callable[["TrialRecord"], None] | None = None,
+    n_workers: int | None = None,
+) -> "TrialRecord":
+    """Closed-loop ask/evaluate/tell driver shared by all optimizers.
+
+    Serial when ``n_workers`` is ``None`` or 1 (byte-identical to the
+    classic one-at-a-time loop).  Otherwise draws ``suggest_batch``
+    batches and evaluates each through
+    :func:`repro.parallel.parallel_map` (which itself degrades to a
+    serial loop where process pools are unavailable).  Results are told
+    in suggestion order, so trial records are deterministic for a
+    deterministic objective either way.
+    """
+    from repro.parallel import effective_workers, parallel_map
+
+    workers = 1 if n_workers is None else effective_workers(n_workers)
+    remaining = n_iters
+    while remaining > 0:
+        try:
+            if workers <= 1:
+                configs = [optimizer.suggest()]
+            else:
+                configs = optimizer.suggest_batch(min(workers, remaining))
+        except StopIteration:  # grid exhausted
+            break
+        if not configs:
+            break
+        if workers <= 1 or len(configs) < 2:
+            outs = [objective(c) for c in configs]
+        else:
+            outs = parallel_map(
+                objective, configs, n_workers=workers, chunks_per_worker=1
+            )
+        for config, out in zip(configs, outs, strict=True):
+            value, meta = unpack_objective(out)
+            record = optimizer.tell(config, value, **meta)
+            if callback is not None:
+                callback(record)
+        remaining -= len(configs)
+    return optimizer.best_record
 
 
 class BayesianOptimizer:
@@ -134,6 +187,15 @@ class BayesianOptimizer:
         #: next :meth:`tell`'s record so every trial carries the cost of
         #: proposing it (surrogate fit + acquisition optimization).
         self._suggest_timings: dict = {}
+        #: Configs suggested by an in-flight :meth:`suggest_batch` whose
+        #: objective values have not been told yet; the GP dedup treats
+        #: them as explored so one batch never proposes the same point
+        #: twice.
+        self._pending_batch: list[dict] = []
+        #: Per-suggestion timing dicts queued by :meth:`suggest_batch`,
+        #: consumed one per :meth:`tell` so batched trials carry their
+        #: own proposal costs just like serial ones.
+        self._batch_timings: deque[dict] = deque()
 
     # ------------------------------------------------------------------
     # state
@@ -222,6 +284,60 @@ class BayesianOptimizer:
         self._pending = config
         return config
 
+    def suggest_batch(self, q: int) -> list[dict]:
+        """Propose ``q`` configs to evaluate concurrently (ask/tell batch).
+
+        Uses the *constant liar* strategy (Ginsbourger et al. 2010):
+        after each suggestion the batch pretends the point was observed
+        at the incumbent best value, so the next acquisition
+        maximization is penalized around already-pending points and the
+        batch spreads out instead of proposing q near-duplicates.  The
+        lies are popped before returning — only real :meth:`tell` values
+        ever enter the history.
+
+        ``suggest_batch(1)`` is exactly :meth:`suggest`: same RNG
+        stream, same proposal, no liar machinery.
+        """
+        if q < 1:
+            raise ValueError("batch size q must be >= 1")
+        self._pending_batch = []
+        self._batch_timings = deque()
+        if q == 1:
+            return [self.suggest()]
+        configs: list[dict] = []
+        timings: list[dict] = []
+        lie = float(np.min(self._y)) if self._y else None
+        n_lies = 0
+        t0 = time.perf_counter()
+        try:
+            for _ in range(q):
+                config = self.suggest()
+                timings.append(self._suggest_timings)
+                self._suggest_timings = {}
+                configs.append(config)
+                self._pending_batch.append(config)
+                if lie is not None:
+                    # Temporarily record the lie so the next surrogate
+                    # fit sees the pending point as explored.
+                    self._X.append(self.space.to_unit(config))
+                    self._y.append(lie)
+                    n_lies += 1
+        finally:
+            if n_lies:
+                del self._X[-n_lies:]
+                del self._y[-n_lies:]
+        self._batch_timings = deque(timings)
+        _metrics.counter("bo.batches").inc()
+        if _events.enabled():
+            _events.emit(
+                "bo.batch",
+                q=q,
+                iteration=self.n_trials,
+                lie=lie,
+                suggest_seconds=time.perf_counter() - t0,
+            )
+        return configs
+
     def tell(self, config: dict, value: float, **metadata) -> TrialRecord:
         """Record the objective value for a suggested (or external) config."""
         if not np.isfinite(value):
@@ -229,9 +345,16 @@ class BayesianOptimizer:
             # finite penalty so the GP steers away instead of crashing.
             value = 1e6
         self.space.validate(config)
+        if not self._suggest_timings and self._batch_timings:
+            self._suggest_timings = self._batch_timings.popleft()
         if self._suggest_timings:
             metadata = {**self._suggest_timings, **metadata}
             self._suggest_timings = {}
+        if self._pending_batch:
+            try:
+                self._pending_batch.remove(config)
+            except ValueError:
+                pass
         record = TrialRecord(iteration=self.n_trials, config=dict(config), value=float(value), metadata=metadata)
         self.history.append(record)
         self._X.append(self.space.to_unit(config))
@@ -325,6 +448,8 @@ class BayesianOptimizer:
     def _is_duplicate(self, config: dict) -> bool:
         if self._excluded is not None and self._excluded(config):
             return True
+        if any(p == config for p in self._pending_batch):
+            return True
         return any(r.config == config for r in self.history)
 
     # ------------------------------------------------------------------
@@ -335,19 +460,20 @@ class BayesianOptimizer:
         objective: Callable[[dict], float],
         n_iters: int,
         callback: Callable[[TrialRecord], None] | None = None,
+        n_workers: int | None = None,
     ) -> TrialRecord:
         """Evaluate ``objective`` for ``n_iters`` iterations; return the best.
 
         ``n_iters`` is the paper's ``maxIters`` (100 in their runs).
         The objective may return a bare value or ``(value, metadata)``;
         metadata lands on the :class:`TrialRecord`.
+
+        With ``n_workers`` > 1, iterations are grouped into
+        constant-liar batches (:meth:`suggest_batch`) evaluated through
+        :func:`repro.parallel.parallel_map`; the objective must then be
+        picklable.  Results are told in suggestion order, so the trial
+        history ordering is deterministic.
         """
         if n_iters < 1:
             raise ValueError("n_iters must be >= 1")
-        for _ in range(n_iters):
-            config = self.suggest()
-            value, meta = unpack_objective(objective(config))
-            record = self.tell(config, value, **meta)
-            if callback is not None:
-                callback(record)
-        return self.best_record
+        return run_search(self, objective, n_iters, callback, n_workers)

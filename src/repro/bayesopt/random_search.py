@@ -12,7 +12,7 @@ from typing import Callable
 
 import numpy as np
 
-from repro.bayesopt.optimizer import TrialRecord, record_trial, unpack_objective
+from repro.bayesopt.optimizer import TrialRecord, record_trial, run_search
 from repro.bayesopt.space import SearchSpace
 
 __all__ = ["RandomSearch"]
@@ -27,6 +27,7 @@ class RandomSearch:
         self.avoid_duplicates = bool(avoid_duplicates)
         self.history: list[TrialRecord] = []
         self._excluded = None
+        self._pending_batch: list[dict] = []
 
     # ------------------------------------------------------------------
     # resilience hooks (same contract as BayesianOptimizer)
@@ -67,11 +68,34 @@ class RandomSearch:
             config = self.space.sample(self._rng, 1)[0]
             if self._excluded is not None and self._excluded(config):
                 continue
-            if not self.avoid_duplicates or not any(
-                r.config == config for r in self.history
+            if not self.avoid_duplicates or not (
+                any(r.config == config for r in self.history)
+                or any(p == config for p in self._pending_batch)
             ):
                 return config
         return config
+
+    def suggest_batch(self, q: int) -> list[dict]:
+        """Draw ``q`` configs for concurrent evaluation.
+
+        Deduplication sees history *plus* the points already in this
+        batch, which is exactly what serial ``suggest`` would have seen
+        at the same trial index — the RNG stream (and therefore every
+        proposed config) is identical to ``q`` serial suggest/tell
+        rounds.  ``suggest_batch(1)`` reduces exactly to
+        :meth:`suggest`.
+        """
+        if q < 1:
+            raise ValueError("batch size q must be >= 1")
+        self._pending_batch = []
+        if q == 1:
+            return [self.suggest()]
+        configs: list[dict] = []
+        for _ in range(q):
+            config = self.suggest()
+            configs.append(config)
+            self._pending_batch.append(config)
+        return configs
 
     def tell(self, config: dict, value: float, **metadata) -> TrialRecord:
         self.space.validate(config)
@@ -81,6 +105,11 @@ class RandomSearch:
             iteration=self.n_trials, config=dict(config), value=float(value), metadata=metadata
         )
         self.history.append(record)
+        if self._pending_batch:
+            try:
+                self._pending_batch.remove(config)
+            except ValueError:
+                pass
         record_trial(record, optimizer="random")
         return record
 
@@ -89,13 +118,8 @@ class RandomSearch:
         objective: Callable[[dict], float],
         n_iters: int,
         callback: Callable[[TrialRecord], None] | None = None,
+        n_workers: int | None = None,
     ) -> TrialRecord:
         if n_iters < 1:
             raise ValueError("n_iters must be >= 1")
-        for _ in range(n_iters):
-            config = self.suggest()
-            value, meta = unpack_objective(objective(config))
-            record = self.tell(config, value, **meta)
-            if callback is not None:
-                callback(record)
-        return self.best_record
+        return run_search(self, objective, n_iters, callback, n_workers)

@@ -66,6 +66,10 @@ def build_parser() -> argparse.ArgumentParser:
     fit.add_argument("--trial-timeout", type=float, default=None, metavar="SECONDS",
                      help="per-trial wall-clock deadline; slower trials are "
                           "recorded infeasible instead of stalling the run")
+    fit.add_argument("--n-workers", type=int, default=None, metavar="N",
+                     help="train up to N candidate models concurrently in "
+                          "worker processes (default: serial; capped by "
+                          "REPRO_MAX_WORKERS)")
 
     pred = sub.add_parser("predict", help="forecast with a saved predictor")
     pred.add_argument("model_dir", help="directory written by `repro fit --save`")
@@ -122,7 +126,9 @@ def _cmd_fit(args) -> int:
             trial_timeout_s=args.trial_timeout,
         ),
     )
-    predictor, report = ld.fit(series, journal=args.journal, resume=args.resume)
+    predictor, report = ld.fit(
+        series, journal=args.journal, resume=args.resume, n_workers=args.n_workers
+    )
     hp = report.best_hyperparameters
     tel = report.telemetry
     logger.debug(

@@ -16,6 +16,7 @@ Public entry points:
 """
 
 from repro.core.adaptive import AdaptiveLoadDynamics
+from repro.core.cache import TrialMemo, WindowCache
 from repro.core.config import (
     FrameworkSettings,
     LSTMHyperparameters,
@@ -35,6 +36,8 @@ __all__ = [
     "FrameworkSettings",
     "search_space_for",
     "MinMaxScaler",
+    "TrialMemo",
+    "WindowCache",
     "make_windows",
     "windows_for_range",
 ]

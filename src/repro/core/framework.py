@@ -20,6 +20,7 @@ everything else in the workflow is shared.
 
 from __future__ import annotations
 
+import functools
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -28,10 +29,10 @@ import numpy as np
 
 from repro.bayesopt.optimizer import BayesianOptimizer, TrialRecord, unpack_objective
 from repro.bayesopt.space import SearchSpace
+from repro.core.cache import TrialMemo, WindowCache
 from repro.core.config import FrameworkSettings, LSTMHyperparameters, search_space_for
 from repro.core.predictor import LoadDynamicsPredictor, NaiveLastValueModel
 from repro.core.scaling import MinMaxScaler
-from repro.core.windowing import make_windows, windows_for_range
 from repro.metrics import mape
 from repro.nn.network import LSTMRegressor
 from repro.obs import events as _events
@@ -60,6 +61,29 @@ _INFEASIBLE_PENALTY = 1e6
 #: transient/training pathologies, as opposed to deterministic
 #: infeasibility (too few windows) the optimizers already steer around.
 _FAILURE_REASONS = frozenset({"training_diverged", "trial_timeout"})
+
+
+def _evaluate_trial(
+    framework: "LoadDynamics",
+    scaled: np.ndarray,
+    raw: np.ndarray,
+    scaler: MinMaxScaler,
+    i_train_end: int,
+    i_val_end: int,
+    config: dict,
+):
+    """Picklable trial evaluator for the parallel search driver.
+
+    Module-level (and with ``config`` last) so ``functools.partial``
+    over the fixed arguments produces the single-argument callable
+    :func:`repro.parallel.parallel_map` expects.  Runs in a worker
+    process: no shared window cache (each worker builds its own
+    windows), and the returned model travels back via pickle with its
+    inference scratch dropped.
+    """
+    return framework._train_and_validate(
+        scaled, raw, scaler, config, i_train_end, i_val_end
+    )
 
 
 @dataclass
@@ -173,6 +197,7 @@ class LoadDynamics:
         *,
         journal: str | Path | TrialJournal | None = None,
         resume: bool = False,
+        n_workers: int | None = None,
     ) -> tuple[LoadDynamicsPredictor, FitReport]:
         """Run the full Fig. 6 workflow on a JAR series.
 
@@ -191,6 +216,15 @@ class LoadDynamics:
             (via ``tell``), restore its search state, and continue the
             run from where it stopped.  The resumed run is bit-for-bit
             identical to an uninterrupted one with the same seed.
+        n_workers:
+            ``None`` or 1 keeps the classic serial loop (bit-for-bit
+            reproducible for a fixed seed).  Larger values evaluate
+            candidate batches (``suggest_batch``) concurrently in
+            worker processes — journaling, quarantine and resume still
+            apply per completed trial, but the trial *ordering* within
+            a batch follows suggestion order rather than completion
+            order.  Capped by the ``REPRO_MAX_WORKERS`` environment
+            variable.
 
         When every trial is infeasible (or the journal's best config can
         no longer be retrained), the fit *degrades* instead of raising:
@@ -215,20 +249,38 @@ class LoadDynamics:
 
         best: dict = {"mape": np.inf, "model": None, "config": None}
         n_infeasible = 0
+        # Cross-trial caches (Section "perf layer"): windowed data sets
+        # shared across trials with the same history length, and
+        # duplicate-config memoization of recorded objectives.
+        wcache = WindowCache(scaled, i_train_end, i_val_end, cfg.max_train_windows)
+        memo = TrialMemo()
 
-        def objective(config: dict) -> tuple[float, dict]:
+        def settle(config: dict, value, model, meta: dict) -> tuple[float, dict]:
+            """Fold one evaluated trial into the fit-level bookkeeping."""
             nonlocal n_infeasible
-            injector = _faults.active()
-            if injector is not None:
-                injector.maybe_fire("objective")
-            value, model, meta = self._train_and_validate(
-                scaled, s, scaler, config, i_train_end, i_val_end
-            )
+            if meta.get("cache_hit"):
+                if meta.get("infeasible"):
+                    n_infeasible += 1
+                return value, meta
+            memo.put(config, value, meta)
             if model is None:
                 n_infeasible += 1
             elif value < best["mape"]:
                 best.update(mape=value, model=model, config=config)
             return value, meta
+
+        def objective(config: dict) -> tuple[float, dict]:
+            injector = _faults.active()
+            if injector is not None:
+                injector.maybe_fire("objective")
+            hit = memo.get(config)
+            if hit is not None:
+                value, meta = hit
+                return settle(config, value, None, {**meta, "cache_hit": True})
+            value, model, meta = self._train_and_validate(
+                scaled, s, scaler, config, i_train_end, i_val_end, window_cache=wcache
+            )
+            return settle(config, value, model, meta)
 
         journal_obj = TrialJournal(journal) if isinstance(journal, (str, Path)) else journal
         if resume and journal_obj is None:
@@ -253,7 +305,7 @@ class LoadDynamics:
             n_replayed = 0
             if resume:
                 n_replayed, n_replayed_infeasible = self._replay_journal(
-                    journal_obj, header, optimizer, quarantine, best
+                    journal_obj, header, optimizer, quarantine, best, memo
                 )
                 n_infeasible += n_replayed_infeasible
             try:
@@ -262,13 +314,37 @@ class LoadDynamics:
                         journal_obj.reopen()
                     else:
                         journal_obj.start(header)
-                self._drive(
-                    optimizer,
-                    objective,
-                    cfg.max_iters - n_replayed,
-                    journal_obj,
-                    quarantine,
-                )
+                from repro.parallel import effective_workers
+
+                workers = 1 if n_workers is None else effective_workers(n_workers)
+                if workers <= 1:
+                    self._drive(
+                        optimizer,
+                        objective,
+                        cfg.max_iters - n_replayed,
+                        journal_obj,
+                        quarantine,
+                    )
+                else:
+                    raw_eval = functools.partial(
+                        _evaluate_trial,
+                        self,
+                        scaled,
+                        s,
+                        scaler,
+                        i_train_end,
+                        i_val_end,
+                    )
+                    self._drive_parallel(
+                        optimizer,
+                        raw_eval,
+                        settle,
+                        memo,
+                        cfg.max_iters - n_replayed,
+                        journal_obj,
+                        quarantine,
+                        workers,
+                    )
             finally:
                 if journal_obj is not None:
                     journal_obj.close()
@@ -284,7 +360,8 @@ class LoadDynamics:
             # reconstructs its model.
             logger.info("retraining journal-best config %s", best["config"])
             _value, model, _meta = self._train_and_validate(
-                scaled, s, scaler, best["config"], i_train_end, i_val_end
+                scaled, s, scaler, best["config"], i_train_end, i_val_end,
+                window_cache=wcache,
             )
             if model is not None:
                 best["model"] = model
@@ -349,36 +426,110 @@ class LoadDynamics:
                 break
             value, meta = unpack_objective(objective(config))
             record = optimizer.tell(config, value, **meta)
-            if (
-                quarantine is not None
-                and record.metadata.get("reason") in _FAILURE_REASONS
-            ):
-                failures = quarantine.record_failure(config)
-                if quarantine.is_quarantined(config):
-                    _metrics.counter("trial.quarantined").inc()
-                    logger.warning(
-                        "config %s quarantined after %d failures", config, failures
+            self._after_trial(optimizer, record, config, journal, quarantine)
+
+    def _drive_parallel(
+        self,
+        optimizer,
+        raw_eval,
+        settle,
+        memo: TrialMemo,
+        n_iters: int,
+        journal,
+        quarantine,
+        workers: int,
+    ) -> None:
+        """Batched variant of :meth:`_drive` for ``fit(n_workers > 1)``.
+
+        Each round asks the optimizer for up to ``workers`` candidates
+        (constant-liar batch for the GP, plain draws otherwise),
+        short-circuits memoized configs, trains the rest concurrently
+        through :func:`repro.parallel.parallel_map`, and tells/journals
+        the results in suggestion order — so the trial history layout
+        matches the serial driver's.
+        """
+        from repro.parallel import parallel_map
+
+        remaining = max(0, n_iters)
+        while remaining > 0:
+            try:
+                configs = optimizer.suggest_batch(min(workers, remaining))
+            except StopIteration:  # grid exhausted
+                break
+            if not configs:
+                break
+            injector = _faults.active()
+            if injector is not None:
+                # Fault injection stays in the parent so injected
+                # failures hit the run deterministically, not whichever
+                # worker happens to import the injector.
+                for _ in configs:
+                    injector.maybe_fire("objective")
+            results: list = [None] * len(configs)
+            todo: list[int] = []
+            for i, config in enumerate(configs):
+                hit = memo.get(config)
+                if hit is not None:
+                    value, meta = hit
+                    results[i] = (value, None, {**meta, "cache_hit": True})
+                else:
+                    todo.append(i)
+            if len(todo) == 1:
+                results[todo[0]] = raw_eval(configs[todo[0]])
+            elif todo:
+                outs = parallel_map(
+                    raw_eval,
+                    [configs[i] for i in todo],
+                    n_workers=workers,
+                    chunks_per_worker=1,
+                )
+                for i, out in zip(todo, outs, strict=True):
+                    results[i] = out
+            for config, (value, model, meta) in zip(configs, results, strict=True):
+                value, meta = settle(config, value, model, meta)
+                record = optimizer.tell(config, value, **meta)
+                self._after_trial(optimizer, record, config, journal, quarantine)
+            remaining -= len(configs)
+
+    def _after_trial(self, optimizer, record, config, journal, quarantine) -> None:
+        """Post-``tell`` bookkeeping shared by both drivers: quarantine
+        repeat offenders and fsync the trial to the journal."""
+        if (
+            quarantine is not None
+            and record.metadata.get("reason") in _FAILURE_REASONS
+        ):
+            failures = quarantine.record_failure(config)
+            if quarantine.is_quarantined(config):
+                _metrics.counter("trial.quarantined").inc()
+                logger.warning(
+                    "config %s quarantined after %d failures", config, failures
+                )
+                if _events.enabled():
+                    _events.emit(
+                        "trial.quarantined", config=dict(config), failures=failures
                     )
-                    if _events.enabled():
-                        _events.emit(
-                            "trial.quarantined", config=dict(config), failures=failures
-                        )
-            if journal is not None:
-                state = (
-                    optimizer.search_state()
-                    if hasattr(optimizer, "search_state")
-                    else None
-                )
-                journal.append_trial(
-                    record.iteration,
-                    record.config,
-                    record.value,
-                    record.metadata,
-                    state=state,
-                )
+        if journal is not None:
+            state = (
+                optimizer.search_state()
+                if hasattr(optimizer, "search_state")
+                else None
+            )
+            journal.append_trial(
+                record.iteration,
+                record.config,
+                record.value,
+                record.metadata,
+                state=state,
+            )
 
     def _replay_journal(
-        self, journal: TrialJournal, header: dict, optimizer, quarantine, best: dict
+        self,
+        journal: TrialJournal,
+        header: dict,
+        optimizer,
+        quarantine,
+        best: dict,
+        memo: TrialMemo | None = None,
     ) -> tuple[int, int]:
         """Feed a journal's completed trials back into a fresh optimizer.
 
@@ -394,6 +545,10 @@ class LoadDynamics:
         last_state = None
         for trial in trials:
             meta = dict(trial.get("metadata") or {})
+            if memo is not None:
+                # Seed the duplicate-config memo so the continued run
+                # never retrains a journaled config.
+                memo.put(trial["config"], trial["value"], meta)
             meta["replayed"] = True
             record = optimizer.tell(trial["config"], trial["value"], **meta)
             if meta.get("infeasible"):
@@ -499,6 +654,7 @@ class LoadDynamics:
         config: dict,
         i_train_end: int,
         i_val_end: int,
+        window_cache: WindowCache | None = None,
     ) -> tuple[float, LSTMRegressor | None, dict]:
         """Fig. 6 steps 1–2 for one hyperparameter set.
 
@@ -518,11 +674,11 @@ class LoadDynamics:
         # Feasibility: the training split must yield enough windows.
         if i_train_end - n < cfg.min_train_windows:
             return infeasible("too_few_train_windows")
-        X_train, y_train = make_windows(scaled[:i_train_end], n)
-        if cfg.max_train_windows is not None and len(y_train) > cfg.max_train_windows:
-            X_train = X_train[-cfg.max_train_windows :]
-            y_train = y_train[-cfg.max_train_windows :]
-        X_val, y_val_scaled = windows_for_range(scaled, n, i_train_end, i_val_end)
+        if window_cache is None:
+            window_cache = WindowCache(
+                scaled, i_train_end, i_val_end, cfg.max_train_windows
+            )
+        X_train, y_train, X_val, y_val_scaled = window_cache.get(n)
         if X_val.shape[0] < 1:
             return infeasible("empty_validation_window")
 

@@ -100,17 +100,22 @@ class LoadDynamicsPredictor(Predictor):
         s = np.asarray(series, dtype=np.float64).ravel()
         end = s.size if end is None else end
         n = self.hyperparameters.history_len
-        X, _ = windows_for_range(s, n, start, end)
+        # copy=False: the scaler transform below materializes a fresh
+        # array anyway, so the contiguous window copy would be pure waste.
+        X, _ = windows_for_range(s, n, start, end, copy=False)
         n_missing = (end - start) - X.shape[0]  # targets with short windows
         preds = np.empty(end - start)
         if X.shape[0]:
             scaled = self.scaler.transform(X)
             raw = self.model.predict(scaled)
-            preds[n_missing:] = np.maximum(self.scaler.inverse_transform(raw), 0.0)
-        # Degenerate early targets fall back to persistence.
-        for j in range(n_missing):
-            i = start + j
-            preds[j] = s[i - 1] if i > 0 else 0.0
+            np.maximum(
+                self.scaler.inverse_transform(raw), 0.0, out=preds[n_missing:]
+            )
+        if n_missing:
+            # Degenerate early targets fall back to persistence
+            # (vectorized: target i gets s[i-1], target 0 gets 0).
+            idx = start + np.arange(n_missing)
+            preds[:n_missing] = np.where(idx > 0, s[idx - 1], 0.0)
         return preds
 
     # ------------------------------------------------------------------

@@ -50,16 +50,36 @@ class MinMaxScaler:
         return (self.hi - self.lo) / (span if span > 1e-12 else 1.0)
 
     def transform(self, values: np.ndarray) -> np.ndarray:
+        # lo + (v - min) * scale, with two bitwise-neutral shortcuts for
+        # the inference hot path: the multiply runs in place on the
+        # subtraction's output (in-place ufuncs round identically), and
+        # the `lo +` pass is skipped when lo == 0.0 — (v - min) * scale
+        # is never -0.0 (scale > 0; exact-equal operands subtract to
+        # +0.0), so adding zero could not change a single bit.
         if not self.is_fitted:
             raise RuntimeError("call fit() first")
         v = np.asarray(values, dtype=np.float64)
-        return self.lo + (v - self.data_min_) * self._scale()
+        out = np.subtract(v, self.data_min_)
+        out *= self._scale()
+        if self.lo != 0.0:
+            out += self.lo
+        return out
 
     def inverse_transform(self, values: np.ndarray) -> np.ndarray:
+        # data_min + (v - lo) / scale with the same shortcuts as
+        # :meth:`transform` (x - 0.0 == x for every float, and IEEE
+        # addition commutes bitwise, so folding data_min in last is
+        # exact).
         if not self.is_fitted:
             raise RuntimeError("call fit() first")
         v = np.asarray(values, dtype=np.float64)
-        return self.data_min_ + (v - self.lo) / self._scale()
+        if self.lo != 0.0:
+            out = np.subtract(v, self.lo)
+            out /= self._scale()
+        else:
+            out = np.divide(v, self._scale())
+        out += self.data_min_
+        return out
 
     def fit_transform(self, values: np.ndarray) -> np.ndarray:
         return self.fit(values).transform(values)

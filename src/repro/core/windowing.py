@@ -32,7 +32,8 @@ def make_windows(series: np.ndarray, n: int) -> tuple[np.ndarray, np.ndarray]:
 
 
 def windows_for_range(
-    series: np.ndarray, n: int, start: int, end: int | None = None
+    series: np.ndarray, n: int, start: int, end: int | None = None,
+    *, copy: bool = True
 ) -> tuple[np.ndarray, np.ndarray]:
     """Windows whose *targets* fall in ``series[start:end]``.
 
@@ -41,6 +42,11 @@ def windows_for_range(
     window may reach back into earlier data (the series is continuous in
     time — Fig. 7).  Targets whose window would start before index 0 are
     dropped.
+
+    With ``copy=False`` the returned arrays are read-only-by-convention
+    views aliasing ``series`` (values identical): callers that feed the
+    windows straight into a value-producing transform — the inference
+    path, whose scaler copies anyway — skip one materialization.
     """
     s = np.asarray(series, dtype=np.float64).ravel()
     if n < 1:
@@ -51,6 +57,10 @@ def windows_for_range(
     first = max(start, n)  # earliest target with a full window
     if first >= end:
         return np.empty((0, n)), np.empty(0)
-    idx = np.arange(first, end)
-    X = np.lib.stride_tricks.sliding_window_view(s, n)[idx - n]
-    return np.ascontiguousarray(X), s[idx].copy()
+    # The targets form a contiguous range, so a plain slice of the
+    # sliding view (one strided copy) beats a fancy-index gather.
+    X = np.lib.stride_tricks.sliding_window_view(s, n)[first - n : end - n]
+    y = s[first:end]
+    if not copy:
+        return X, y
+    return np.ascontiguousarray(X), y.copy()

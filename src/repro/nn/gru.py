@@ -22,8 +22,37 @@ import numpy as np
 
 from repro.nn.activations import dsigmoid_from_y, dtanh_from_y, sigmoid
 from repro.nn.initializers import glorot_uniform, orthogonal
+from repro.nn.lstm import _sigmoid_inplace
 
 __all__ = ["GRULayer", "GRUCache"]
+
+
+class _GRUScratch:
+    """Preallocated buffers for :meth:`GRULayer.forward_inference`.
+
+    Mirrors ``repro.nn.lstm._LSTMScratch``: sized per (B, T) batch
+    shape, reused across batches, gate activations in place on slices of
+    the (B, 2H) update/reset pre-activation block.  ``Uzr``/``Ug`` hold
+    contiguous copies of the packed recurrent-kernel slices, refreshed
+    every call so in-place weight updates can never go stale.
+    """
+
+    __slots__ = ("B", "T", "xw", "hu", "z", "r", "rh", "g", "tmp",
+                 "h_prev", "out", "Uzr", "Ug")
+
+    def __init__(self, B: int, T: int, H: int):
+        self.B, self.T = B, T
+        self.xw = np.empty((B * T, 3 * H))
+        self.hu = np.empty((B, 2 * H))
+        self.z = self.hu[:, :H]
+        self.r = self.hu[:, H:]
+        self.rh = np.empty((B, H))
+        self.g = np.empty((B, H))
+        self.tmp = np.empty((B, H))
+        self.h_prev = np.empty((B, H))
+        self.out = np.empty((B, T, H))
+        self.Uzr = np.empty((H, 2 * H))
+        self.Ug = np.empty((H, H))
 
 
 class GRUCache:
@@ -53,6 +82,16 @@ class GRULayer:
         self.W = glorot_uniform(rng, input_size, H, (input_size, 3 * H))
         self.U = np.concatenate([orthogonal(rng, H, H) for _ in range(3)], axis=1)
         self.b = np.zeros(3 * H)
+        self._scratch: _GRUScratch | None = None
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_scratch"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._scratch = state.get("_scratch")
 
     # ------------------------------------------------------------------
     @property
@@ -102,6 +141,85 @@ class GRULayer:
 
         cache = GRUCache(x, zs, rs, gs, hs, h0_saved, rhs)
         return np.ascontiguousarray(hs.transpose(1, 0, 2)), cache
+
+    # ------------------------------------------------------------------
+    # inference fast path
+    # ------------------------------------------------------------------
+    def forward_inference(
+        self,
+        x: np.ndarray,
+        h0: np.ndarray | None = None,
+        return_sequences: bool = True,
+    ) -> np.ndarray:
+        """Forward pass without the BPTT cache (see the LSTM twin).
+
+        Bitwise-identical hidden sequence to :meth:`forward`, computed
+        with reusable scratch buffers, in-place gate activations, and
+        hidden states written directly in (B, T, H) layout.  With
+        ``return_sequences=False`` only the final (B, H) hidden state is
+        returned and the per-step output writes are skipped.  The return
+        value is a view of layer scratch, valid until the next call;
+        not thread-safe.
+        """
+        if x.ndim != 3:
+            raise ValueError(f"expected (batch, time, features) input, got {x.shape}")
+        B, T, D = x.shape
+        if D != self.input_size:
+            raise ValueError(f"input feature dim {D} != layer input_size {self.input_size}")
+        if T == 0:
+            raise ValueError("sequence length must be positive")
+        H = self.hidden_size
+
+        s = self._scratch
+        if s is None or s.B != B or s.T != T:
+            s = self._scratch = _GRUScratch(B, T, H)
+        # Refresh the contiguous recurrent-kernel copies (step GEMMs on a
+        # contiguous operand; values match the strided views exactly).
+        s.Uzr[...] = self.U[:, : 2 * H]
+        s.Ug[...] = self.U[:, 2 * H :]
+
+        if D == 1:
+            # Univariate hot case: x @ W with one input feature is an
+            # outer product — one bulk broadcast multiply is
+            # bitwise-equal to the GEMM, computed in (T, B, 3H) layout
+            # so every step slice is contiguous (see the LSTM twin).
+            xw = s.xw.reshape(T, B, 3 * H)
+            np.multiply(x.transpose(1, 0, 2), self.W, out=xw)
+            xw += self.b
+            time_major = True
+        else:
+            np.matmul(np.ascontiguousarray(x).reshape(B * T, D), self.W, out=s.xw)
+            xw = s.xw.reshape(B, T, 3 * H)
+            xw += self.b
+            time_major = False
+
+        if h0 is None:
+            s.h_prev.fill(0.0)
+        else:
+            s.h_prev[...] = h0
+
+        out = s.out
+        H2 = 2 * H
+        # Hoist per-step slice construction out of the loop (see LSTM).
+        xts = list(xw) if time_major else [xw[:, t] for t in range(T)]
+        for t in range(T):
+            xwt = xts[t]
+            np.matmul(s.h_prev, s.Uzr, out=s.hu)  # z and r recurrent parts
+            s.hu += xwt[:, :H2]
+            _sigmoid_inplace(s.hu)  # z and r fused in one (B, 2H) block
+            np.multiply(s.r, s.h_prev, out=s.rh)
+            np.matmul(s.rh, s.Ug, out=s.g)
+            s.g += xwt[:, H2:]
+            np.tanh(s.g, out=s.g)
+            # h_t = (1 - z) ⊙ h_{t-1} + z ⊙ g, computed in the contiguous
+            # h_prev buffer then copied into the (B, T, H) output slab.
+            np.subtract(1.0, s.z, out=s.tmp)
+            np.multiply(s.tmp, s.h_prev, out=s.tmp)
+            np.multiply(s.z, s.g, out=s.h_prev)
+            s.h_prev += s.tmp
+            if return_sequences:
+                out[:, t, :] = s.h_prev
+        return out if return_sequences else s.h_prev
 
     # ------------------------------------------------------------------
     def backward(

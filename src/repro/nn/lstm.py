@@ -27,6 +27,55 @@ from repro.nn.initializers import glorot_uniform, lstm_bias, orthogonal
 __all__ = ["LSTMLayer", "LSTMCache"]
 
 
+class _LSTMScratch:
+    """Preallocated buffers for :meth:`LSTMLayer.forward_inference`.
+
+    One instance per layer, sized for a (B, T) batch shape and reused
+    across batches — inference allocates nothing per call once warm.
+    ``zsig``/``zg`` alias the (B, 4H) pre-activation block ``z``;
+    the activated sigmoid gates live in the contiguous buffer ``a``
+    (views ``ai/af/ao``) and the candidate in ``g``.
+    """
+
+    __slots__ = ("B", "T", "xw", "z", "zsig", "zg", "a", "ai", "af",
+                 "ao", "g", "h_prev", "c_prev", "c", "tmp", "out")
+
+    def __init__(self, B: int, T: int, H: int):
+        self.B, self.T = B, T
+        self.xw = np.empty((B * T, 4 * H))
+        self.z = np.empty((B, 4 * H))
+        # Gate layout is [i, f, o, g]: the three sigmoid gates form one
+        # (B, 3H) block.  ``a`` is a dense copy of that block — ufunc
+        # passes over a contiguous buffer are 2-3x faster than over a
+        # strided slice of ``z``, and the activation is 4 more passes.
+        self.zsig = self.z[:, : 3 * H]
+        self.zg = self.z[:, 3 * H :]
+        self.a = np.empty((B, 3 * H))
+        self.ai = self.a[:, :H]
+        self.af = self.a[:, H : 2 * H]
+        self.ao = self.a[:, 2 * H : 3 * H]
+        self.g = np.empty((B, H))
+        self.h_prev = np.empty((B, H))
+        self.c_prev = np.empty((B, H))
+        self.c = np.empty((B, H))
+        self.tmp = np.empty((B, H))
+        self.out = np.empty((B, T, H))
+
+
+def _sigmoid_inplace(z: np.ndarray) -> None:
+    """In-place logistic sigmoid, bitwise-equal to ``activations.sigmoid``.
+
+    Same op sequence (clip, negate, exp, 1 + ·, divide) on the same
+    operands — only the destination differs, so results are identical
+    to the out-of-place version to the last bit.
+    """
+    np.clip(z, -60.0, 60.0, out=z)
+    np.negative(z, out=z)
+    np.exp(z, out=z)
+    z += 1.0
+    np.divide(1.0, z, out=z)
+
+
 class LSTMCache:
     """Forward-pass intermediates needed by :meth:`LSTMLayer.backward`.
 
@@ -73,6 +122,18 @@ class LSTMLayer:
             [orthogonal(rng, H, H) for _ in range(4)], axis=1
         )
         self.b = lstm_bias(H)
+        self._scratch: _LSTMScratch | None = None
+
+    # Scratch buffers are a per-process cache, not state: drop them when
+    # the layer is pickled (e.g. shipped to a trial-evaluation worker).
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_scratch"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._scratch = state.get("_scratch")
 
     # ------------------------------------------------------------------
     # parameter plumbing
@@ -147,6 +208,120 @@ class LSTMLayer:
 
         cache = LSTMCache(x, gates, cs, tanh_cs, hs, h0_saved, c0_saved)
         return np.ascontiguousarray(hs.transpose(1, 0, 2)), cache
+
+    # ------------------------------------------------------------------
+    # inference fast path
+    # ------------------------------------------------------------------
+    def forward_inference(
+        self,
+        x: np.ndarray,
+        h0: np.ndarray | None = None,
+        c0: np.ndarray | None = None,
+        return_sequences: bool = True,
+    ) -> np.ndarray:
+        """Forward pass without the BPTT cache — the deployed hot path.
+
+        Bitwise-identical to :meth:`forward`'s hidden sequence, but:
+
+        * no ``gates/c/tanh_c/h`` (T, B, ·) stacks are allocated;
+        * per-layer scratch buffers are reused across batches of the
+          same (B, T) shape, so a warm predictor allocates nothing;
+        * the four gate activations run in place on slices of one
+          (B, 4H) pre-activation block;
+        * hidden states are written directly in (B, T, H) layout, so
+          there is no final ``transpose`` + ``ascontiguousarray`` copy.
+
+        With ``return_sequences=False`` only the final hidden state
+        ``h_T`` of shape (B, H) is returned and the per-step output
+        writes are skipped entirely — the right mode for the last layer
+        of a stack, whose head reads ``h_T`` alone.
+
+        The returned array is a view of the layer's scratch: valid until
+        the next ``forward_inference`` call on this layer.  Not
+        thread-safe — callers that share a model across threads must
+        hold their own lock (the training path is unaffected).
+        """
+        if x.ndim != 3:
+            raise ValueError(f"expected (batch, time, features) input, got {x.shape}")
+        B, T, D = x.shape
+        if D != self.input_size:
+            raise ValueError(f"input feature dim {D} != layer input_size {self.input_size}")
+        if T == 0:
+            raise ValueError("sequence length must be positive")
+        H = self.hidden_size
+
+        s = self._scratch
+        if s is None or s.B != B or s.T != T:
+            s = self._scratch = _LSTMScratch(B, T, H)
+
+        if D == 1:
+            # Univariate hot case: x @ W with one input feature is an
+            # outer product — each element is the single correctly
+            # rounded product x[b,t,0] * W[0,j], so one bulk broadcast
+            # multiply is bitwise-equal to the GEMM (which BLAS handles
+            # poorly at K=1).  Computed in (T, B, 4H) layout so every
+            # ``xw[t]`` step slice is contiguous.
+            xw = s.xw.reshape(T, B, 4 * H)
+            np.multiply(x.transpose(1, 0, 2), self.W, out=xw)
+            xw += self.b
+            time_major = True
+        else:
+            # Hoisted input projection, as in the cached path: one GEMM
+            # over all timesteps, into the reusable scratch block.
+            np.matmul(np.ascontiguousarray(x).reshape(B * T, D), self.W, out=s.xw)
+            xw = s.xw.reshape(B, T, 4 * H)
+            xw += self.b
+            time_major = False
+
+        if h0 is None:
+            s.h_prev.fill(0.0)
+        else:
+            s.h_prev[...] = h0
+        if c0 is None:
+            s.c_prev.fill(0.0)
+        else:
+            s.c_prev[...] = c0
+
+        # Hot loop: ufuncs hoisted to locals and ``out`` passed
+        # positionally — at these array sizes (a few KB per step) the
+        # numpy dispatch overhead is a measurable share of each step.
+        mul, mm, add, clip = np.multiply, np.matmul, np.add, np.clip
+        neg, exp, div, tanh = np.negative, np.exp, np.divide, np.tanh
+        z, a, g, tmp = s.z, s.a, s.g, s.tmp
+        zsig, zg, ai, af, ao = s.zsig, s.zg, s.ai, s.af, s.ao
+        h_prev, out = s.h_prev, s.out
+        c, c_prev = s.c, s.c_prev
+        U = self.U
+        # Hoist per-step slice construction out of the loop: iterating a
+        # (T, B, 4H) array yields the contiguous step views directly.
+        xts = list(xw) if time_major else [xw[:, t] for t in range(T)]
+        for t in range(T):
+            # z_t = (x_t W + b) + h_{t-1} U; IEEE addition commutes
+            # bitwise, so either accumulation direction matches the
+            # cached path exactly.
+            mm(h_prev, U, z)
+            add(z, xts[t], z)
+            # Fused sigmoid over [i, f, o]: the clip pass reads the
+            # strided (B, 3H) slice of z and lands in the contiguous
+            # buffer ``a``; the remaining four passes run contiguous
+            # (2-3x faster than strided — same values either way).
+            clip(zsig, -60.0, 60.0, a)
+            neg(a, a)
+            exp(a, a)
+            add(a, 1.0, a)
+            div(1.0, a, a)
+            tanh(zg, g)
+            # C_t = f ⊙ C_{t-1} + i ⊙ g, then h_t = o ⊙ tanh(C_t),
+            # written straight into the (B, T, H) output slab.
+            mul(af, c_prev, c)
+            mul(ai, g, tmp)
+            add(c, tmp, c)
+            tanh(c, tmp)
+            mul(ao, tmp, h_prev)
+            if return_sequences:
+                out[:, t] = h_prev
+            c, c_prev = c_prev, c  # swap roles instead of copying C_t
+        return out if return_sequences else h_prev
 
     # ------------------------------------------------------------------
     # backward

@@ -123,14 +123,40 @@ class LSTMRegressor:
         pred = self.head.forward(last_h)[:, 0]
         return pred, caches
 
+    def _forward_inference(self, x: np.ndarray) -> np.ndarray:
+        """Cache-free forward: the deployed inference hot path.
+
+        Each layer's ``forward_inference`` skips the BPTT stacks and
+        reuses per-layer scratch buffers across batches; outputs are
+        bitwise-identical to :meth:`_forward` (enforced by the fast-path
+        parity tests).  The last layer runs with
+        ``return_sequences=False`` — the head only reads the final
+        hidden state, so its (B, T, H) output slab is never written.
+        Not thread-safe — concurrent prediction on a shared model must
+        use :meth:`_forward` or external locking.
+        """
+        h = x
+        for layer in self.lstm_layers[:-1]:
+            h = layer.forward_inference(h)
+        last_h = self.lstm_layers[-1].forward_inference(h, return_sequences=False)
+        return self.head.forward(last_h)[:, 0]
+
     def predict(self, x: np.ndarray, batch_size: int = 4096) -> np.ndarray:
-        """Predict one value per window; accepts (N, n) or (N, n, 1)."""
+        """Predict one value per window; accepts (N, n) or (N, n, 1).
+
+        Uses the cache-free inference fast path (no training-time
+        intermediates are allocated); results are bitwise-identical to
+        running the cached training forward.
+        """
         x = self._coerce_input(x)
+        if x.shape[0] <= batch_size:
+            # Hot case: one chunk, no concatenate copy.
+            return self._forward_inference(x) if x.shape[0] else np.empty(0)
         outs = [
-            self._forward(x[a : a + batch_size])[0]
+            self._forward_inference(x[a : a + batch_size])
             for a in range(0, x.shape[0], batch_size)
         ]
-        return np.concatenate(outs) if outs else np.empty(0)
+        return np.concatenate(outs)
 
     def _coerce_input(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x, dtype=np.float64)

@@ -1,0 +1,350 @@
+"""Perf-layer guarantees: fast-path parity, parallel determinism, caches.
+
+The inference fast path, the batched search drivers, and the
+cross-trial caches are all pure optimizations — every test here pins
+the contract that they change *nothing* about the numbers:
+
+* ``forward_inference`` is bitwise-identical to the cached ``forward``
+  (LSTM and GRU, single and stacked, univariate and multivariate);
+* ``suggest_batch(1)`` reduces exactly to ``suggest``;
+* random/grid search produce identical trial records serial vs
+  parallel, and so does a whole ``LoadDynamics.fit``;
+* the stride-tricks windowing equals the naive Python-loop reference;
+* the window cache and trial memo return exactly what direct
+  construction / evaluation would.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bayesopt import (
+    BayesianOptimizer,
+    FloatParam,
+    GridSearch,
+    IntParam,
+    RandomSearch,
+    SearchSpace,
+)
+from repro.core import (
+    FrameworkSettings,
+    LoadDynamics,
+    TrialMemo,
+    WindowCache,
+    make_windows,
+    search_space_for,
+    windows_for_range,
+)
+from repro.nn import LSTMRegressor
+from repro.nn.gru import GRULayer
+from repro.nn.lstm import LSTMLayer
+
+
+# ----------------------------------------------------------------------
+# kernel fast-path parity
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("layer_cls", [LSTMLayer, GRULayer])
+@pytest.mark.parametrize(
+    "B,T,D,H",
+    [(1, 14, 1, 9), (150, 14, 1, 9), (8, 5, 3, 4), (64, 48, 1, 32)],
+)
+def test_forward_inference_bitwise_parity(layer_cls, B, T, D, H):
+    rng = np.random.default_rng(0)
+    layer = layer_cls(D, H, rng)
+    x = rng.standard_normal((B, T, D))
+    cached, _ = layer.forward(x)
+    fast = layer.forward_inference(x)
+    assert np.array_equal(cached, fast)  # bitwise, not approx
+
+
+@pytest.mark.parametrize("layer_cls", [LSTMLayer, GRULayer])
+def test_forward_inference_scratch_reuse(layer_cls):
+    """Second call reuses the same buffers and stays bitwise-correct."""
+    rng = np.random.default_rng(1)
+    layer = layer_cls(1, 6, rng)
+    x1 = rng.standard_normal((10, 7, 1))
+    x2 = rng.standard_normal((10, 7, 1))
+    out1 = layer.forward_inference(x1)
+    scratch = layer._scratch
+    out2 = layer.forward_inference(x2)
+    assert layer._scratch is scratch  # no reallocation
+    assert out2 is scratch.out  # output lives in the scratch slab
+    assert np.array_equal(layer.forward(x2)[0], out2)
+    # out1 was a view of scratch: overwritten by design
+    del out1
+
+
+@pytest.mark.parametrize("layer_cls", [LSTMLayer, GRULayer])
+def test_forward_inference_h0_parity(layer_cls):
+    rng = np.random.default_rng(2)
+    layer = layer_cls(2, 5, rng)
+    x = rng.standard_normal((4, 6, 2))
+    h0 = rng.standard_normal((4, 5))
+    assert np.array_equal(layer.forward(x, h0)[0], layer.forward_inference(x, h0))
+
+
+@pytest.mark.parametrize("cell", ["lstm", "gru"])
+def test_predict_matches_cached_forward(cell):
+    """LSTMRegressor.predict (fast path) == the cached training forward."""
+    rng = np.random.default_rng(3)
+    model = LSTMRegressor(hidden_size=7, num_layers=3, seed=5, cell=cell)
+    x = rng.standard_normal((33, 12, 1))
+    fast = model.predict(x)
+    cached, _ = model._forward(model._coerce_input(x))
+    assert np.array_equal(fast, cached)
+
+
+def test_predict_chunked_matches_single():
+    """Chunked prediction (batch_size < N) equals the one-shot result."""
+    rng = np.random.default_rng(4)
+    model = LSTMRegressor(hidden_size=5, num_layers=1, seed=0)
+    x = rng.standard_normal((50, 9, 1))
+    assert np.array_equal(model.predict(x), model.predict(x, batch_size=16))
+
+
+def test_predict_after_weight_update():
+    """The fast path must see in-place weight updates (no stale copies)."""
+    rng = np.random.default_rng(5)
+    model = LSTMRegressor(hidden_size=4, num_layers=1, seed=0)
+    x = rng.standard_normal((6, 8, 1))
+    model.predict(x)  # allocate + warm the scratch
+    for p in model.params:
+        p += 0.01
+    cached, _ = model._forward(model._coerce_input(x))
+    assert np.array_equal(model.predict(x), cached)
+
+
+def test_pickle_drops_scratch_and_preserves_outputs():
+    import pickle
+
+    rng = np.random.default_rng(6)
+    model = LSTMRegressor(hidden_size=4, num_layers=2, seed=0)
+    x = rng.standard_normal((5, 7, 1))
+    before = model.predict(x).copy()
+    clone = pickle.loads(pickle.dumps(model))
+    assert all(layer._scratch is None for layer in clone.lstm_layers)
+    assert np.array_equal(clone.predict(x), before)
+
+
+# ----------------------------------------------------------------------
+# batched suggestions and parallel search determinism
+# ----------------------------------------------------------------------
+def _space():
+    return SearchSpace([IntParam("a", 1, 10), FloatParam("b", 0.0, 1.0)])
+
+
+def _objective(config):
+    return (config["a"] - 3) ** 2 + (config["b"] - 0.4) ** 2
+
+
+@pytest.mark.parametrize(
+    "make",
+    [
+        lambda: BayesianOptimizer(_space(), seed=7),
+        lambda: RandomSearch(_space(), seed=7),
+        lambda: GridSearch(_space(), points_per_dim=3),
+    ],
+)
+def test_suggest_batch_q1_reduces_to_suggest(make):
+    o1, o2 = make(), make()
+    assert o1.suggest() == o2.suggest_batch(1)[0]
+    if hasattr(o1, "_rng"):
+        assert (
+            o1._rng.bit_generator.state == o2._rng.bit_generator.state
+        )
+    if hasattr(o1, "_cursor"):
+        assert o1._cursor == o2._cursor
+
+
+def test_suggest_batch_rejects_bad_q():
+    for opt in (
+        BayesianOptimizer(_space()),
+        RandomSearch(_space()),
+        GridSearch(_space()),
+    ):
+        with pytest.raises(ValueError):
+            opt.suggest_batch(0)
+
+
+def test_random_search_parallel_records_identical_to_serial():
+    serial = RandomSearch(_space(), seed=3)
+    parallel = RandomSearch(_space(), seed=3)
+    serial.run(_objective, 8)
+    parallel.run(_objective, 8, n_workers=4)
+    assert [(r.iteration, r.config, r.value) for r in serial.history] == [
+        (r.iteration, r.config, r.value) for r in parallel.history
+    ]
+
+
+def test_grid_search_parallel_records_identical_to_serial():
+    serial = GridSearch(_space(), points_per_dim=3)
+    parallel = GridSearch(_space(), points_per_dim=3)
+    serial.run(_objective)
+    parallel.run(_objective, n_workers=4)
+    assert serial.exhausted and parallel.exhausted
+    assert [(r.iteration, r.config, r.value) for r in serial.history] == [
+        (r.iteration, r.config, r.value) for r in parallel.history
+    ]
+
+
+def test_bo_suggest_batch_constant_liar():
+    """Batched GP suggestions are deduplicated and leave no lies behind."""
+    bo = BayesianOptimizer(_space(), seed=1, n_initial=2)
+    for _ in range(3):  # enough history for the GP to take over
+        c = bo.suggest()
+        bo.tell(c, _objective(c))
+    n_obs = len(bo._y)
+    batch = bo.suggest_batch(3)
+    assert len(batch) == 3
+    assert len({TrialMemo.key(c) for c in batch}) == 3  # all distinct
+    assert len(bo._y) == n_obs  # lies popped
+    for c in batch:
+        bo.tell(c, _objective(c))
+    assert not bo._pending_batch
+
+
+def test_grid_suggest_batch_partial_on_exhaustion():
+    g = GridSearch(_space(), points_per_dim=2)  # 4 points
+    batch = g.suggest_batch(3)
+    assert len(batch) == 3
+    batch2 = g.suggest_batch(3)
+    assert len(batch2) == 1  # partial final batch
+    with pytest.raises(StopIteration):
+        g.suggest_batch(2)
+
+
+# ----------------------------------------------------------------------
+# windowing: stride tricks vs the loop reference
+# ----------------------------------------------------------------------
+def _make_windows_loop(series, n):
+    s = np.asarray(series, dtype=np.float64).ravel()
+    X = np.empty((s.size - n, n))
+    y = np.empty(s.size - n)
+    for j in range(s.size - n):
+        X[j] = s[j : j + n]
+        y[j] = s[j + n]
+    return X, y
+
+
+def _windows_for_range_loop(series, n, start, end):
+    s = np.asarray(series, dtype=np.float64).ravel()
+    first = max(start, n)
+    X = np.empty((max(end - first, 0), n))
+    y = np.empty(max(end - first, 0))
+    for j, i in enumerate(range(first, end)):
+        X[j] = s[i - n : i]
+        y[j] = s[i]
+    return X, y
+
+
+def test_make_windows_equals_loop_reference():
+    rng = np.random.default_rng(8)
+    s = rng.standard_normal(200)
+    for n in (1, 5, 24):
+        X, y = make_windows(s, n)
+        X_ref, y_ref = _make_windows_loop(s, n)
+        assert np.array_equal(X, X_ref) and np.array_equal(y, y_ref)
+        assert X.flags["C_CONTIGUOUS"]
+
+
+def test_windows_for_range_equals_loop_reference():
+    rng = np.random.default_rng(9)
+    s = rng.standard_normal(120)
+    for n, start, end in [(5, 60, 100), (24, 10, 50), (7, 0, 120), (30, 100, 120)]:
+        X, y = windows_for_range(s, n, start, end)
+        X_ref, y_ref = _windows_for_range_loop(s, n, start, end)
+        assert np.array_equal(X, X_ref) and np.array_equal(y, y_ref)
+
+
+def test_predict_series_fallback_equals_loop_reference():
+    """The vectorized short-window persistence fallback == the old loop."""
+    from repro.core.config import LSTMHyperparameters
+    from repro.core.predictor import LoadDynamicsPredictor
+    from repro.core.scaling import MinMaxScaler
+
+    rng = np.random.default_rng(10)
+    s = np.abs(rng.standard_normal(60)) + 1.0
+    n = 20
+    model = LSTMRegressor(hidden_size=3, num_layers=1, seed=0)
+    predictor = LoadDynamicsPredictor(
+        model=model,
+        scaler=MinMaxScaler().fit(s[:40]),
+        hyperparameters=LSTMHyperparameters(
+            history_len=n, cell_size=3, num_layers=1, batch_size=8
+        ),
+    )
+    # start < n so several early targets lack a full window
+    preds = predictor.predict_series(s, 5, 40)
+    expected_fallback = [s[i - 1] if i > 0 else 0.0 for i in range(5, n)]
+    assert np.array_equal(preds[: n - 5], expected_fallback)
+    # and one that includes target index 0
+    preds0 = predictor.predict_series(s, 0, 30)
+    assert preds0[0] == 0.0
+    assert np.array_equal(preds0[1:n], s[: n - 1])
+
+
+# ----------------------------------------------------------------------
+# cross-trial caches
+# ----------------------------------------------------------------------
+def test_window_cache_matches_direct_construction():
+    rng = np.random.default_rng(11)
+    scaled = rng.uniform(size=300)
+    cache = WindowCache(scaled, 180, 240, max_train_windows=100)
+    for n in (5, 24, 5):  # 5 requested twice → one build
+        X_tr, y_tr, X_val, y_val = cache.get(n)
+        X_ref, y_ref = make_windows(scaled[:180], n)
+        X_ref, y_ref = X_ref[-100:], y_ref[-100:]
+        Xv_ref, yv_ref = windows_for_range(scaled, n, 180, 240)
+        assert np.array_equal(X_tr, X_ref) and np.array_equal(y_tr, y_ref)
+        assert np.array_equal(X_val, Xv_ref) and np.array_equal(y_val, yv_ref)
+    assert len(cache) == 2
+    # repeated gets hand back the same arrays, not copies
+    assert cache.get(5)[0] is cache.get(5)[0]
+
+
+def test_trial_memo_roundtrip():
+    memo = TrialMemo()
+    config = {"a": 3, "b": 0.5}
+    assert memo.get(config) is None
+    memo.put(config, 1.25, {"epochs_run": 7})
+    assert {"b": 0.5, "a": 3} in memo  # key order-insensitive
+    value, meta = memo.get({"b": 0.5, "a": 3})
+    assert value == 1.25 and meta == {"epochs_run": 7}
+    # returned meta is a copy — mutating it must not poison the memo
+    meta["epochs_run"] = 0
+    assert memo.get(config)[1] == {"epochs_run": 7}
+
+
+# ----------------------------------------------------------------------
+# end-to-end: parallel fit determinism
+# ----------------------------------------------------------------------
+def _small_series():
+    rng = np.random.default_rng(12)
+    t = np.arange(260)
+    return 50 + 10 * np.sin(2 * np.pi * t / 24) + rng.normal(0, 1.0, t.size)
+
+
+def _make_ld():
+    return LoadDynamics(
+        space=search_space_for("gl", "tiny"),
+        settings=FrameworkSettings.reduced(max_iters=4, epochs=4),
+        optimizer_cls=RandomSearch,
+    )
+
+
+def test_fit_parallel_records_identical_to_serial():
+    """Same configs, same objective values, serial vs n_workers=2.
+
+    Training is deterministic per (config, seed, data), and random
+    search draws identical configs in both modes, so the whole trial
+    history must match.
+    """
+    series = _small_series()
+    _, serial = _make_ld().fit(series)
+    _, parallel = _make_ld().fit(series, n_workers=2)
+    assert [(r.config, r.value) for r in serial.trials] == [
+        (r.config, r.value) for r in parallel.trials
+    ]
+    assert serial.best_validation_mape == parallel.best_validation_mape
+    assert serial.n_infeasible == parallel.n_infeasible
