@@ -9,6 +9,9 @@ cd "$(dirname "$0")/.."
 echo "== lint: no bare print() in src/repro =="
 python scripts/check_no_bare_print.py
 
+echo "== lint: import layering (substrate/models/core/apps DAG) =="
+python scripts/check_layering.py
+
 if [[ "${1:-}" == "--lint" ]]; then
     exit 0
 fi
@@ -21,3 +24,7 @@ python scripts/fault_smoke.py
 
 echo "== perf smoke (fast-path parity + quick benchmarks) =="
 python scripts/perf_smoke.py
+
+echo "== model-family smoke (non-default family end to end) =="
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro.cli fit gl-30m \
+    --budget tiny --family gru --max-iters 2 --epochs 3

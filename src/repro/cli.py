@@ -3,6 +3,7 @@
 Commands map 1:1 to the experiment runners and the core workflow:
 
 * ``list`` — show the 14 workload configurations and all baselines;
+* ``families`` — show the registered model families (``--family``);
 * ``fit`` — run LoadDynamics on a configuration, optionally save the
   predictor;
 * ``predict`` — load a saved predictor and forecast the next interval;
@@ -48,10 +49,14 @@ def build_parser() -> argparse.ArgumentParser:
     sub = p.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list workload configurations and baselines")
+    sub.add_parser("families", help="list the registered model families")
 
     fit = sub.add_parser("fit", help="run the LoadDynamics workflow on a configuration")
     fit.add_argument("config", help="workload configuration key, e.g. gl-30m")
     fit.add_argument("--budget", default="reduced", choices=("paper", "reduced", "tiny"))
+    fit.add_argument("--family", default="lstm", metavar="NAME",
+                     help="model family the trials train (see `repro families`; "
+                          "default: lstm)")
     fit.add_argument("--max-iters", type=int, default=12, help="BO iterations (paper: 100)")
     fit.add_argument("--epochs", type=int, default=30)
     fit.add_argument("--extended", action="store_true",
@@ -86,6 +91,10 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument("--max-eval", type=int, default=150)
         if name == "fig5":
             cmd.add_argument("--models", type=int, default=30)
+        if name == "ablation":
+            cmd.add_argument("--families", nargs="*", default=None, metavar="NAME",
+                             help="compare model families instead of search "
+                                  "strategies (e.g. --families lstm gbr svr)")
         if name == "fig9":
             cmd.add_argument("--configs", nargs="*", default=None,
                              help="subset of configuration keys (default: all 14)")
@@ -109,6 +118,17 @@ def _cmd_list() -> int:
     return 0
 
 
+def _cmd_families() -> int:
+    from repro.models import get_family, list_families
+
+    print("Registered model families (`repro fit --family NAME`):")
+    for name in list_families():
+        family = get_family(name)
+        dims = ", ".join(p.name for p in family.search_space(budget="paper").params)
+        print(f"  {name:8s} [{family.kind}] tunes: {dims}")
+    return 0
+
+
 def _cmd_fit(args) -> int:
     from repro.core import FrameworkSettings, LoadDynamics, search_space_for
     from repro.traces import get_configuration
@@ -119,12 +139,15 @@ def _cmd_fit(args) -> int:
     series = get_configuration(args.config).load()
     trace = args.config.split("-")[0]
     ld = LoadDynamics(
-        space=search_space_for(trace, args.budget, extended=args.extended),
+        space=search_space_for(
+            trace, args.budget, extended=args.extended, family=args.family
+        ),
         settings=FrameworkSettings.reduced(
             max_iters=args.max_iters,
             epochs=args.epochs,
             trial_timeout_s=args.trial_timeout,
         ),
+        family=args.family,
     )
     predictor, report = ld.fit(
         series, journal=args.journal, resume=args.resume, n_workers=args.n_workers
@@ -137,23 +160,22 @@ def _cmd_fit(args) -> int:
         tel.get("train_seconds_total", 0.0), report.total_seconds,
     )
     print(f"workload          : {args.config} ({len(series)} intervals)")
+    print(f"family            : {ld.family.name}")
     print(f"trials            : {report.n_trials} ({report.n_infeasible} infeasible)")
     if report.n_resumed:
         print(f"resumed trials    : {report.n_resumed} (from {args.journal})")
     if report.degraded:
         print(f"DEGRADED          : {report.degraded_reason} "
               f"(naive last-value fallback)")
-    print(f"selected          : n={hp.history_len} s={hp.cell_size} "
-          f"layers={hp.num_layers} batch={hp.batch_size}")
+    selected = " ".join(f"{k}={v}" for k, v in hp.as_dict().items())
+    print(f"selected          : {selected}")
     print(f"validation MAPE   : {report.best_validation_mape:.2f}%")
     print(f"test MAPE         : {ld.evaluate(predictor, series):.2f}%")
     print(f"fit wall time     : {report.total_seconds:.1f}s")
     if args.save:
-        if report.degraded:
-            print("saved predictor   : skipped (degraded fallback is not persistable)")
-        else:
-            path = predictor.save(args.save)
-            print(f"saved predictor   : {path}")
+        path = predictor.save(args.save)
+        note = " (degraded naive fallback)" if report.degraded else ""
+        print(f"saved predictor   : {path}{note}")
     return 0
 
 
@@ -172,6 +194,7 @@ def _cmd_predict(args) -> int:
 def _cmd_figures(args) -> int:
     from repro.experiments import (
         format_table,
+        run_family_ablation,
         run_fig2,
         run_fig5,
         run_fig9,
@@ -205,7 +228,13 @@ def _cmd_figures(args) -> int:
         rows = run_fig10(max_eval=args.max_eval)
         print(format_table(rows))
     elif args.command == "ablation":
-        print(format_table(run_search_ablation(max_eval=args.max_eval)))
+        if args.families is not None:
+            families = tuple(args.families) or ("lstm", "gru", "gbr", "svr")
+            print(format_table(
+                run_family_ablation(families=families, max_eval=args.max_eval)
+            ))
+        else:
+            print(format_table(run_search_ablation(max_eval=args.max_eval)))
     return 0
 
 
@@ -230,6 +259,8 @@ def main(argv: list[str] | None = None) -> int:
     try:
         if args.command == "list":
             return _cmd_list()
+        if args.command == "families":
+            return _cmd_families()
         if args.command == "fit":
             return _cmd_fit(args)
         if args.command == "predict":

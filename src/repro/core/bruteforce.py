@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.bayesopt.space import SearchSpace
 from repro.core.config import FrameworkSettings, LSTMHyperparameters
+from repro.core.data import prepare_data
 from repro.core.predictor import LoadDynamicsPredictor
 from repro.core.scaling import MinMaxScaler
 from repro.parallel import parallel_map
@@ -42,13 +43,13 @@ def _evaluate_payload(payload: tuple) -> tuple[dict, float]:
     """Train+validate one configuration (runs in a worker process)."""
     (scaled, raw, scaler_state, config, i_train_end, i_val_end, settings_kwargs) = payload
     # Reconstruct the light objects locally; arrays arrived by pickling.
-    from repro.core.framework import LoadDynamics
+    from repro.core.evaluation import TrialEvaluator
+    from repro.models import get_family
 
     settings = FrameworkSettings(**settings_kwargs)
-    ld = LoadDynamics.__new__(LoadDynamics)  # skip __init__: only settings used
-    ld.settings = settings
+    evaluator = TrialEvaluator(get_family("lstm"), settings)
     scaler = MinMaxScaler.from_state(scaler_state)
-    value, model, _meta = ld._train_and_validate(
+    value, _model, _meta = evaluator.evaluate(
         scaled, raw, scaler, config, i_train_end, i_val_end
     )
     return config, float(value)
@@ -73,16 +74,11 @@ def brute_force_search(
     :func:`fit_best` to turn the winning configuration into a deployable
     :class:`LoadDynamicsPredictor`.
     """
-    s = np.asarray(series, dtype=np.float64).ravel()
     cfg = settings if settings is not None else FrameworkSettings.reduced()
-    n_total = s.size
-    i_train_end = int(round(cfg.train_frac * n_total))
-    i_val_end = int(round((cfg.train_frac + cfg.val_frac) * n_total))
-    if i_train_end < 4 or i_val_end - i_train_end < 2:
-        raise ValueError(f"series of length {n_total} too short for the split")
-
-    scaler = MinMaxScaler().fit(s[:i_train_end])
-    scaled = scaler.transform(s)
+    # Workers rebuild their own windows, so skip the shared cache.
+    data = prepare_data(series, cfg, window_cache=False)
+    s, scaled, scaler = data.raw, data.scaled, data.scaler
+    i_train_end, i_val_end = data.i_train_end, data.i_val_end
 
     grid = space.grid(points_per_dim)
     rng = np.random.default_rng(shuffle_seed)
@@ -126,25 +122,20 @@ def fit_best(
     settings: FrameworkSettings | None = None,
 ) -> LoadDynamicsPredictor:
     """Retrain the sweep winner into a deployable predictor."""
-    from repro.core.framework import LoadDynamics
+    from repro.core.evaluation import TrialEvaluator
+    from repro.models import get_family
 
     cfg = settings if settings is not None else FrameworkSettings.reduced()
-    s = np.asarray(series, dtype=np.float64).ravel()
-    i_train_end = int(round(cfg.train_frac * s.size))
-    i_val_end = int(round((cfg.train_frac + cfg.val_frac) * s.size))
-    scaler = MinMaxScaler().fit(s[:i_train_end])
-    scaled = scaler.transform(s)
-    ld = LoadDynamics.__new__(LoadDynamics)
-    ld.settings = cfg
-    value, model, _meta = ld._train_and_validate(
-        scaled, s, scaler, result.best_hyperparameters.as_dict(),
-        i_train_end, i_val_end,
+    data = prepare_data(series, cfg, window_cache=False)
+    family = get_family("lstm")
+    evaluator = TrialEvaluator(family, cfg)
+    value, model, _meta = evaluator.evaluate(
+        data.scaled, data.raw, data.scaler,
+        result.best_hyperparameters.as_dict(),
+        data.i_train_end, data.i_val_end,
     )
     if model is None:
         raise RuntimeError("winning configuration became infeasible on refit")
-    return LoadDynamicsPredictor(
-        model=model,
-        scaler=scaler,
-        hyperparameters=result.best_hyperparameters,
-        validation_mape=value,
+    return family.wrap_predictor(
+        model, data.scaler, result.best_hyperparameters.as_dict(), value
     )

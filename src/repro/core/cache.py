@@ -85,17 +85,27 @@ class TrialMemo:
     Keyed by the sorted config items; models are *not* stored (the best
     model is tracked by the fit loop itself), so a memo hit returns the
     recorded value and metadata with no retraining.
+
+    ``family`` salts the keys so distinct model families never collide
+    on a shared config shape (e.g. two families that both tune only
+    ``history_len``); a memo is scoped to one fit, but salting keeps
+    the invariant even if one is ever reused across searches.
     """
 
-    def __init__(self):
+    def __init__(self, family: str | None = None):
         self._store: dict[tuple, tuple[float, dict]] = {}
+        self._family = family
 
     @staticmethod
     def key(config: dict) -> tuple:
         return tuple(sorted(config.items()))
 
+    def _key(self, config: dict) -> tuple:
+        base = self.key(config)
+        return base if self._family is None else (self._family,) + base
+
     def get(self, config: dict) -> tuple[float, dict] | None:
-        hit = self._store.get(self.key(config))
+        hit = self._store.get(self._key(config))
         if hit is None:
             _metrics.counter("cache.trials.misses").inc()
             return None
@@ -104,10 +114,10 @@ class TrialMemo:
         return value, dict(meta)
 
     def put(self, config: dict, value: float, meta: dict | None = None) -> None:
-        self._store[self.key(config)] = (float(value), dict(meta or {}))
+        self._store[self._key(config)] = (float(value), dict(meta or {}))
 
     def __contains__(self, config: dict) -> bool:
-        return self.key(config) in self._store
+        return self._key(config) in self._store
 
     def __len__(self) -> int:
         return len(self._store)

@@ -25,9 +25,43 @@ from dataclasses import dataclass, field
 
 from repro.bayesopt.space import CategoricalParam, IntParam, SearchSpace
 
-__all__ = ["LSTMHyperparameters", "FrameworkSettings", "search_space_for", "BUDGETS"]
+__all__ = [
+    "LSTMHyperparameters",
+    "GenericHyperparameters",
+    "FrameworkSettings",
+    "search_space_for",
+    "history_range",
+    "BUDGETS",
+]
 
 BUDGETS = ("paper", "reduced", "tiny")
+
+#: Table III box ranges, keyed by (budget, is_facebook):
+#: (history_len, cell_size, num_layers, batch_size).
+_TABLE3_RANGES = {
+    ("paper", False): ((1, 512), (1, 100), (1, 5), (16, 1024)),
+    ("paper", True): ((1, 100), (1, 50), (1, 5), (8, 128)),
+    ("reduced", False): ((1, 64), (1, 32), (1, 2), (16, 128)),
+    ("reduced", True): ((1, 32), (1, 24), (1, 2), (8, 64)),
+    ("tiny", False): ((1, 8), (1, 8), (1, 2), (4, 16)),
+    ("tiny", True): ((1, 8), (1, 8), (1, 2), (4, 16)),
+}
+
+
+def _is_facebook(trace_name: str) -> bool:
+    return trace_name.lower() in ("fb", "facebook")
+
+
+def history_range(trace_name: str = "default", budget: str = "paper") -> tuple[int, int]:
+    """Table III ``history_len`` box for a trace/budget.
+
+    The history length is the one hyperparameter *every* model family
+    tunes (Eq. 1 windowing is universal); non-NN families reuse this
+    range so their windows stay comparable to the recurrent families'.
+    """
+    if budget not in BUDGETS:
+        raise ValueError(f"budget must be one of {BUDGETS}")
+    return _TABLE3_RANGES[(budget, _is_facebook(trace_name))][0]
 
 
 @dataclass(frozen=True)
@@ -67,14 +101,49 @@ class LSTMHyperparameters:
         )
 
 
-def search_space_for(
-    trace_name: str = "default", budget: str = "paper", extended: bool = False
-) -> SearchSpace:
-    """Table III search space for a trace (Facebook gets the small ranges).
+@dataclass(frozen=True)
+class GenericHyperparameters:
+    """Hyperparameters of a non-NN model family.
 
-    ``budget="reduced"`` caps history/cell/layers/batch so a full BO run
-    finishes in seconds-to-minutes on a laptop; ``"tiny"`` is for unit
-    tests.  History length and batch size use log-scaled encodings — their
+    Every family tunes ``history_len`` (Eq. 1 windowing is universal);
+    the remaining dimensions vary per family and are carried as sorted
+    ``(name, value)`` pairs, keeping the dataclass hashable and
+    order-independent.
+    """
+
+    history_len: int
+    extras: tuple = ()
+
+    def __post_init__(self):
+        if self.history_len < 1:
+            raise ValueError("history_len must be >= 1")
+
+    def as_dict(self) -> dict:
+        out = {"history_len": self.history_len}
+        out.update(dict(self.extras))
+        return out
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "GenericHyperparameters":
+        return cls(
+            history_len=int(d["history_len"]),
+            extras=tuple(sorted((k, v) for k, v in d.items() if k != "history_len")),
+        )
+
+
+def search_space_for(
+    trace_name: str = "default",
+    budget: str = "paper",
+    extended: bool = False,
+    family: str = "lstm",
+) -> SearchSpace:
+    """Search space for a trace/budget, per model family.
+
+    For the default recurrent families this is the Table III space
+    (Facebook gets the small ranges).  ``budget="reduced"`` caps
+    history/cell/layers/batch so a full BO run finishes in
+    seconds-to-minutes on a laptop; ``"tiny"`` is for unit tests.
+    History length and batch size use log-scaled encodings — their
     paper ranges span 2–3 orders of magnitude.
 
     ``extended=True`` adds the Section V "other hyperparameters" — the
@@ -82,22 +151,20 @@ def search_space_for(
     dimensions.  The paper observed no accuracy gain from these on its
     workloads but notes they "may affect the accuracy ... applied to
     other workloads"; the optimization process handles them unchanged.
+
+    ``family`` other than ``"lstm"``/``"gru"`` delegates to that
+    family's own :meth:`~repro.models.base.ModelFamily.search_space`
+    from the :mod:`repro.models` registry.
     """
+    if family not in ("lstm", "gru"):
+        # Delegate to the family's own space.  Imported lazily: config is
+        # a leaf module the model families themselves depend on.
+        from repro.models import get_family
+
+        return get_family(family).search_space(trace_name, budget, extended=extended)
     if budget not in BUDGETS:
         raise ValueError(f"budget must be one of {BUDGETS}")
-    facebook = trace_name.lower() in ("fb", "facebook")
-    if budget == "paper":
-        if facebook:
-            hist, cell, layers, batch = (1, 100), (1, 50), (1, 5), (8, 128)
-        else:
-            hist, cell, layers, batch = (1, 512), (1, 100), (1, 5), (16, 1024)
-    elif budget == "reduced":
-        if facebook:
-            hist, cell, layers, batch = (1, 32), (1, 24), (1, 2), (8, 64)
-        else:
-            hist, cell, layers, batch = (1, 64), (1, 32), (1, 2), (16, 128)
-    else:  # tiny
-        hist, cell, layers, batch = (1, 8), (1, 8), (1, 2), (4, 16)
+    hist, cell, layers, batch = _TABLE3_RANGES[(budget, _is_facebook(trace_name))]
     params: list = [
         IntParam("history_len", *hist, log=True),
         IntParam("cell_size", *cell),

@@ -1,0 +1,20 @@
+"""Constants shared by the trial-evaluation and search-driver stages.
+
+Hoisted out of the old ``core/framework.py`` monolith so every model
+family's evaluation stage and the resilient search driver agree on the
+same values — a family that invented its own penalty would silently
+skew the optimizer's view of the landscape.
+"""
+
+from __future__ import annotations
+
+__all__ = ["INFEASIBLE_PENALTY", "FAILURE_REASONS"]
+
+#: Objective value for hyperparameter sets that cannot be trained
+#: (history longer than the training split, degenerate windows, ...).
+INFEASIBLE_PENALTY = 1e6
+
+#: Infeasibility reasons that count as *failures* for the quarantine —
+#: transient/training pathologies, as opposed to deterministic
+#: infeasibility (too few windows) the optimizers already steer around.
+FAILURE_REASONS = frozenset({"training_diverged", "trial_timeout"})

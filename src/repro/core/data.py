@@ -1,0 +1,77 @@
+"""Data-preparation stage of the LoadDynamics workflow (split/scale/window).
+
+First stage of the Fig. 6 pipeline, shared by every model family and by
+the brute-force baseline: split the JAR series 60/20/20, fit the min-max
+scaler on the *training split only* (leakage guard), and attach a
+:class:`~repro.core.cache.WindowCache` so every trial that shares a
+history length reuses the same window matrices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.cache import WindowCache
+from repro.core.config import FrameworkSettings
+from repro.core.scaling import MinMaxScaler
+
+__all__ = ["PreparedData", "prepare_data"]
+
+
+@dataclass
+class PreparedData:
+    """Split, scaled, and window-cached view of one JAR series."""
+
+    raw: np.ndarray
+    scaled: np.ndarray
+    scaler: MinMaxScaler
+    i_train_end: int
+    i_val_end: int
+    window_cache: WindowCache | None = None
+
+    @property
+    def n_intervals(self) -> int:
+        return int(self.raw.size)
+
+
+def prepare_data(
+    series: np.ndarray,
+    settings: FrameworkSettings,
+    *,
+    window_cache: bool = True,
+) -> PreparedData:
+    """Split + scale + window a series per the framework settings.
+
+    Raises ``ValueError`` when the series is too short for the
+    configured train/val fractions.  ``window_cache=False`` skips
+    building the cross-trial cache (single-evaluation callers).
+    """
+    s = np.asarray(series, dtype=np.float64).ravel()
+    cfg = settings
+    n_total = s.size
+    i_train_end = int(round(cfg.train_frac * n_total))
+    i_val_end = int(round((cfg.train_frac + cfg.val_frac) * n_total))
+    if i_train_end < 4 or i_val_end - i_train_end < 2:
+        raise ValueError(
+            f"series of length {n_total} too short for the "
+            f"{cfg.train_frac:.0%}/{cfg.val_frac:.0%} split"
+        )
+
+    # Scaler fit on the training split ONLY (leakage guard).
+    scaler = MinMaxScaler().fit(s[:i_train_end])
+    scaled = scaler.transform(s)
+    cache = (
+        WindowCache(scaled, i_train_end, i_val_end, cfg.max_train_windows)
+        if window_cache
+        else None
+    )
+    return PreparedData(
+        raw=s,
+        scaled=scaled,
+        scaler=scaler,
+        i_train_end=i_train_end,
+        i_val_end=i_val_end,
+        window_cache=cache,
+    )

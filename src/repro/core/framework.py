@@ -1,21 +1,33 @@
-"""The LoadDynamics workflow (paper Fig. 6).
+"""The LoadDynamics workflow (paper Fig. 6), composed from stages.
 
-Phases, mapped to the figure's numbered steps:
+Phases, mapped to the figure's numbered steps and to the module that
+now owns each stage:
 
-1. **Train** — configure an LSTM with the current hyperparameter set and
-   train it on the training split (first 60% of JARs, min-max scaled).
+1. **Train** — build a candidate model for the suggested hyperparameter
+   set and fit it on the training split (first 60% of JARs, min-max
+   scaled).  Stage: :class:`~repro.core.evaluation.TrialEvaluator`,
+   over the data prepared by :func:`~repro.core.data.prepare_data`.
 2. **Validate** — predict every cross-validation JAR (next 20%) and
-   compute the MAPE.
-3. **Optimize** — feed (hyperparameters, error) to Bayesian Optimization,
-   which proposes the next set from the Table III space.
-4. **Select** — after ``maxIters`` iterations keep the lowest-error model
-   as the workload's predictor ``f``.
+   compute the MAPE.  Stage: also :class:`TrialEvaluator` (one trial =
+   train + validate).
+3. **Optimize** — feed (hyperparameters, error) to Bayesian
+   Optimization, which proposes the next set from the family's search
+   space.  Stage: :class:`~repro.core.driver.SearchDriver`, which also
+   owns journaling, quarantine, and resume.
+4. **Select** — after ``maxIters`` iterations keep the lowest-error
+   model as the workload's predictor ``f``.  Stage: this module's
+   :meth:`LoadDynamics.fit` (the best-trial bookkeeping and the
+   graceful-degradation fallback).
 5. **Predict** — the returned :class:`LoadDynamicsPredictor` serves
    future JARs.
 
-The alternative optimizers discussed in Section III-A (random and grid
-search) can be swapped in via ``optimizer_cls`` for the ablation bench —
-everything else in the workflow is shared.
+What a trial trains is pluggable: ``family`` selects a
+:class:`~repro.models.base.ModelFamily` from the :mod:`repro.models`
+registry (``"lstm"`` — the paper default — ``"gru"``, ``"gbr"``,
+``"svr"``, ...).  The alternative optimizers discussed in Section III-A
+(random and grid search) can likewise be swapped in via
+``optimizer_cls`` for the ablation bench — everything else in the
+workflow is shared.
 """
 
 from __future__ import annotations
@@ -27,44 +39,32 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.bayesopt.optimizer import BayesianOptimizer, TrialRecord, unpack_objective
+from repro.bayesopt.optimizer import BayesianOptimizer, TrialRecord
 from repro.bayesopt.space import SearchSpace
-from repro.core.cache import TrialMemo, WindowCache
-from repro.core.config import FrameworkSettings, LSTMHyperparameters, search_space_for
+from repro.core.cache import TrialMemo
+from repro.core.config import FrameworkSettings
+from repro.core.data import prepare_data
+from repro.core.driver import SearchDriver
+from repro.core.evaluation import TrialEvaluator
 from repro.core.predictor import LoadDynamicsPredictor, NaiveLastValueModel
 from repro.core.scaling import MinMaxScaler
 from repro.metrics import mape
-from repro.nn.network import LSTMRegressor
+from repro.models import get_family
 from repro.obs import events as _events
 from repro.obs import metrics as _metrics
 from repro.obs.logging import get_logger
 from repro.obs.tracing import span
 from repro.resilience import faults as _faults
 from repro.resilience.journal import TrialJournal
-from repro.resilience.retry import (
-    DeadlineCallback,
-    EpochCounter,
-    Quarantine,
-    RetryPolicy,
-    TrialTimeout,
-)
+from repro.resilience.retry import Quarantine
 
 logger = get_logger("core.framework")
 
 __all__ = ["LoadDynamics", "FitReport"]
 
-#: Objective value for hyperparameter sets that cannot be trained
-#: (history longer than the training split, degenerate windows, ...).
-_INFEASIBLE_PENALTY = 1e6
-
-#: Infeasibility reasons that count as *failures* for the quarantine —
-#: transient/training pathologies, as opposed to deterministic
-#: infeasibility (too few windows) the optimizers already steer around.
-_FAILURE_REASONS = frozenset({"training_diverged", "trial_timeout"})
-
 
 def _evaluate_trial(
-    framework: "LoadDynamics",
+    evaluator: TrialEvaluator,
     scaled: np.ndarray,
     raw: np.ndarray,
     scaler: MinMaxScaler,
@@ -81,21 +81,23 @@ def _evaluate_trial(
     windows), and the returned model travels back via pickle with its
     inference scratch dropped.
     """
-    return framework._train_and_validate(
-        scaled, raw, scaler, config, i_train_end, i_val_end
-    )
+    return evaluator.evaluate(scaled, raw, scaler, config, i_train_end, i_val_end)
 
 
 @dataclass
 class FitReport:
     """Everything the fit produced besides the predictor itself."""
 
-    best_hyperparameters: LSTMHyperparameters
+    #: Hyperparameter object of the winning trial —
+    #: :class:`~repro.core.config.LSTMHyperparameters` for the recurrent
+    #: families, :class:`~repro.core.config.GenericHyperparameters`
+    #: otherwise.
+    best_hyperparameters: object
     best_validation_mape: float
     trials: list[TrialRecord] = field(default_factory=list)
     total_seconds: float = 0.0
     n_infeasible: int = 0
-    #: True when the fit could not produce a trained LSTM and fell back
+    #: True when the fit could not produce a trained model and fell back
     #: to the naive last-value predictor (``degraded_reason`` says why).
     degraded: bool = False
     degraded_reason: str | None = None
@@ -160,20 +162,25 @@ class FitReport:
 
 
 class LoadDynamics:
-    """Self-optimized LSTM workload predictor factory.
+    """Self-optimized workload predictor factory.
 
     Parameters
     ----------
     space:
-        Hyperparameter search space; defaults to the Table III space for
-        ``trace_name`` under the given ``budget``.
+        Hyperparameter search space; defaults to the selected family's
+        space for ``trace_name`` under the given ``budget`` (Table III
+        for the recurrent families).
     settings:
         Workflow knobs (``maxIters``, split fractions, training loop).
     trace_name / budget:
-        Convenience route to :func:`repro.core.config.search_space_for`.
+        Convenience route to the family's
+        :meth:`~repro.models.base.ModelFamily.search_space`.
     optimizer_cls:
         ``BayesianOptimizer`` (paper) or a drop-in like ``RandomSearch``/
         ``GridSearch`` for the Section III-A comparison.
+    family:
+        Registered :mod:`repro.models` family name (or instance) whose
+        models the trials train; defaults to the paper's ``"lstm"``.
     """
 
     def __init__(
@@ -184,8 +191,14 @@ class LoadDynamics:
         budget: str = "paper",
         optimizer_cls=BayesianOptimizer,
         optimizer_kwargs: dict | None = None,
+        family: str = "lstm",
     ):
-        self.space = space if space is not None else search_space_for(trace_name, budget)
+        self.family = get_family(family)
+        self.space = (
+            space
+            if space is not None
+            else self.family.search_space(trace_name, budget)
+        )
         self.settings = settings if settings is not None else FrameworkSettings()
         self.optimizer_cls = optimizer_cls
         self.optimizer_kwargs = dict(optimizer_kwargs or {})
@@ -232,28 +245,19 @@ class LoadDynamics:
         ``degraded=True``.
         """
         t_start = time.perf_counter()
-        s = np.asarray(series, dtype=np.float64).ravel()
         cfg = self.settings
-        n_total = s.size
-        i_train_end = int(round(cfg.train_frac * n_total))
-        i_val_end = int(round((cfg.train_frac + cfg.val_frac) * n_total))
-        if i_train_end < 4 or i_val_end - i_train_end < 2:
-            raise ValueError(
-                f"series of length {n_total} too short for the "
-                f"{cfg.train_frac:.0%}/{cfg.val_frac:.0%} split"
-            )
-
-        # Scaler fit on the training split ONLY (leakage guard).
-        scaler = MinMaxScaler().fit(s[:i_train_end])
-        scaled = scaler.transform(s)
+        data = prepare_data(series, cfg)
+        s, scaled, scaler = data.raw, data.scaled, data.scaler
+        i_train_end, i_val_end = data.i_train_end, data.i_val_end
 
         best: dict = {"mape": np.inf, "model": None, "config": None}
         n_infeasible = 0
         # Cross-trial caches (Section "perf layer"): windowed data sets
         # shared across trials with the same history length, and
         # duplicate-config memoization of recorded objectives.
-        wcache = WindowCache(scaled, i_train_end, i_val_end, cfg.max_train_windows)
-        memo = TrialMemo()
+        wcache = data.window_cache
+        memo = TrialMemo(family=self.family.name)
+        evaluator = TrialEvaluator(self.family, cfg)
 
         def settle(config: dict, value, model, meta: dict) -> tuple[float, dict]:
             """Fold one evaluated trial into the fit-level bookkeeping."""
@@ -277,7 +281,7 @@ class LoadDynamics:
             if hit is not None:
                 value, meta = hit
                 return settle(config, value, None, {**meta, "cache_hit": True})
-            value, model, meta = self._train_and_validate(
+            value, model, meta = evaluator.evaluate(
                 scaled, s, scaler, config, i_train_end, i_val_end, window_cache=wcache
             )
             return settle(config, value, model, meta)
@@ -289,11 +293,12 @@ class LoadDynamics:
             "optimizer": self.optimizer_cls.__name__,
             "seed": cfg.seed,
             "max_iters": cfg.max_iters,
+            "family": self.family.name,
             "space": [repr(p) for p in self.space.params],
         }
 
         with span(
-            "loaddynamics.fit", n_intervals=int(n_total), max_iters=cfg.max_iters
+            "loaddynamics.fit", n_intervals=data.n_intervals, max_iters=cfg.max_iters
         ) as root:
             optimizer = self._make_optimizer()
             quarantine = (
@@ -301,12 +306,11 @@ class LoadDynamics:
             )
             if quarantine is not None and hasattr(optimizer, "set_excluded"):
                 optimizer.set_excluded(quarantine.is_quarantined)
+            driver = SearchDriver(optimizer, journal_obj, quarantine)
 
             n_replayed = 0
             if resume:
-                n_replayed, n_replayed_infeasible = self._replay_journal(
-                    journal_obj, header, optimizer, quarantine, best, memo
-                )
+                n_replayed, n_replayed_infeasible = driver.replay(header, best, memo)
                 n_infeasible += n_replayed_infeasible
             try:
                 if journal_obj is not None:
@@ -318,31 +322,22 @@ class LoadDynamics:
 
                 workers = 1 if n_workers is None else effective_workers(n_workers)
                 if workers <= 1:
-                    self._drive(
-                        optimizer,
-                        objective,
-                        cfg.max_iters - n_replayed,
-                        journal_obj,
-                        quarantine,
-                    )
+                    driver.run(objective, cfg.max_iters - n_replayed)
                 else:
                     raw_eval = functools.partial(
                         _evaluate_trial,
-                        self,
+                        evaluator,
                         scaled,
                         s,
                         scaler,
                         i_train_end,
                         i_val_end,
                     )
-                    self._drive_parallel(
-                        optimizer,
+                    driver.run_parallel(
                         raw_eval,
                         settle,
                         memo,
                         cfg.max_iters - n_replayed,
-                        journal_obj,
-                        quarantine,
                         workers,
                     )
             finally:
@@ -359,7 +354,7 @@ class LoadDynamics:
             # deterministic retraining (same config, same seed, same data)
             # reconstructs its model.
             logger.info("retraining journal-best config %s", best["config"])
-            _value, model, _meta = self._train_and_validate(
+            _value, model, _meta = evaluator.evaluate(
                 scaled, s, scaler, best["config"], i_train_end, i_val_end,
                 window_cache=wcache,
             )
@@ -385,12 +380,9 @@ class LoadDynamics:
                 i_val_end,
             )
 
-        hp = LSTMHyperparameters.from_dict(best["config"])
-        predictor = LoadDynamicsPredictor(
-            model=best["model"],
-            scaler=scaler,
-            hyperparameters=hp,
-            validation_mape=best["mape"],
+        hp = self.family.hyperparameters(best["config"])
+        predictor = self.family.wrap_predictor(
+            best["model"], scaler, best["config"], best["mape"]
         )
         report = FitReport(
             best_hyperparameters=hp,
@@ -410,163 +402,6 @@ class LoadDynamics:
         return predictor, report
 
     # ------------------------------------------------------------------
-    # the resilient search driver
-    # ------------------------------------------------------------------
-    def _drive(self, optimizer, objective, n_iters, journal, quarantine) -> None:
-        """Suggest/evaluate/tell loop with journaling and quarantine.
-
-        Replaces ``optimizer.run``: each completed trial is fsynced to
-        the journal (config, value, metadata, search state) before the
-        next one starts, and repeat offenders are quarantined.
-        """
-        for _ in range(max(0, n_iters)):
-            try:
-                config = optimizer.suggest()
-            except StopIteration:  # grid exhausted
-                break
-            value, meta = unpack_objective(objective(config))
-            record = optimizer.tell(config, value, **meta)
-            self._after_trial(optimizer, record, config, journal, quarantine)
-
-    def _drive_parallel(
-        self,
-        optimizer,
-        raw_eval,
-        settle,
-        memo: TrialMemo,
-        n_iters: int,
-        journal,
-        quarantine,
-        workers: int,
-    ) -> None:
-        """Batched variant of :meth:`_drive` for ``fit(n_workers > 1)``.
-
-        Each round asks the optimizer for up to ``workers`` candidates
-        (constant-liar batch for the GP, plain draws otherwise),
-        short-circuits memoized configs, trains the rest concurrently
-        through :func:`repro.parallel.parallel_map`, and tells/journals
-        the results in suggestion order — so the trial history layout
-        matches the serial driver's.
-        """
-        from repro.parallel import parallel_map
-
-        remaining = max(0, n_iters)
-        while remaining > 0:
-            try:
-                configs = optimizer.suggest_batch(min(workers, remaining))
-            except StopIteration:  # grid exhausted
-                break
-            if not configs:
-                break
-            injector = _faults.active()
-            if injector is not None:
-                # Fault injection stays in the parent so injected
-                # failures hit the run deterministically, not whichever
-                # worker happens to import the injector.
-                for _ in configs:
-                    injector.maybe_fire("objective")
-            results: list = [None] * len(configs)
-            todo: list[int] = []
-            for i, config in enumerate(configs):
-                hit = memo.get(config)
-                if hit is not None:
-                    value, meta = hit
-                    results[i] = (value, None, {**meta, "cache_hit": True})
-                else:
-                    todo.append(i)
-            if len(todo) == 1:
-                results[todo[0]] = raw_eval(configs[todo[0]])
-            elif todo:
-                outs = parallel_map(
-                    raw_eval,
-                    [configs[i] for i in todo],
-                    n_workers=workers,
-                    chunks_per_worker=1,
-                )
-                for i, out in zip(todo, outs, strict=True):
-                    results[i] = out
-            for config, (value, model, meta) in zip(configs, results, strict=True):
-                value, meta = settle(config, value, model, meta)
-                record = optimizer.tell(config, value, **meta)
-                self._after_trial(optimizer, record, config, journal, quarantine)
-            remaining -= len(configs)
-
-    def _after_trial(self, optimizer, record, config, journal, quarantine) -> None:
-        """Post-``tell`` bookkeeping shared by both drivers: quarantine
-        repeat offenders and fsync the trial to the journal."""
-        if (
-            quarantine is not None
-            and record.metadata.get("reason") in _FAILURE_REASONS
-        ):
-            failures = quarantine.record_failure(config)
-            if quarantine.is_quarantined(config):
-                _metrics.counter("trial.quarantined").inc()
-                logger.warning(
-                    "config %s quarantined after %d failures", config, failures
-                )
-                if _events.enabled():
-                    _events.emit(
-                        "trial.quarantined", config=dict(config), failures=failures
-                    )
-        if journal is not None:
-            state = (
-                optimizer.search_state()
-                if hasattr(optimizer, "search_state")
-                else None
-            )
-            journal.append_trial(
-                record.iteration,
-                record.config,
-                record.value,
-                record.metadata,
-                state=state,
-            )
-
-    def _replay_journal(
-        self,
-        journal: TrialJournal,
-        header: dict,
-        optimizer,
-        quarantine,
-        best: dict,
-        memo: TrialMemo | None = None,
-    ) -> tuple[int, int]:
-        """Feed a journal's completed trials back into a fresh optimizer.
-
-        Returns ``(n_replayed, n_infeasible)``.  Each trial is ``tell``-ed
-        with its recorded value (no retraining), the quarantine ledger is
-        rebuilt from the recorded failure reasons, and the optimizer's
-        search state (RNG/cursor) is restored from the last trial — after
-        which the continued run is deterministic.
-        """
-        stored_header, trials = TrialJournal.load(journal.path)
-        TrialJournal.check_header(stored_header, header)
-        n_infeasible = 0
-        last_state = None
-        for trial in trials:
-            meta = dict(trial.get("metadata") or {})
-            if memo is not None:
-                # Seed the duplicate-config memo so the continued run
-                # never retrains a journaled config.
-                memo.put(trial["config"], trial["value"], meta)
-            meta["replayed"] = True
-            record = optimizer.tell(trial["config"], trial["value"], **meta)
-            if meta.get("infeasible"):
-                n_infeasible += 1
-                if quarantine is not None and meta.get("reason") in _FAILURE_REASONS:
-                    quarantine.record_failure(record.config)
-            elif record.value < best["mape"]:
-                best.update(mape=record.value, config=record.config, model=None)
-            if trial.get("state") is not None:
-                last_state = trial["state"]
-        if last_state is not None and hasattr(optimizer, "restore_search_state"):
-            optimizer.restore_search_state(last_state)
-        logger.info(
-            "resumed from %s: replayed %d trials (%d infeasible)",
-            journal.path, len(trials), n_infeasible,
-        )
-        return len(trials), n_infeasible
-
     def _degraded_result(
         self,
         s: np.ndarray,
@@ -586,7 +421,9 @@ class LoadDynamics:
         The paper's workflow assumes step 4 always has a best model to
         select; on a production cluster "every trial failed" must still
         yield *some* predictor, so the degraded fit returns persistence
-        (last value) with the degradation flagged on the report.
+        (last value) with the degradation flagged on the report.  The
+        predictor is tagged with the ``naive`` family, which makes it
+        persistable like any other (its save format is a marker file).
         """
         val_pred = s[i_train_end - 1 : i_val_end - 1]
         val_actual = s[i_train_end:i_val_end]
@@ -594,14 +431,14 @@ class LoadDynamics:
             naive_mape = float(mape(val_pred, val_actual))
         except ValueError:
             naive_mape = float("inf")
-        hp = LSTMHyperparameters(
-            history_len=1, cell_size=1, num_layers=1, batch_size=1
-        )
+        naive = get_family("naive")
+        hp = naive.hyperparameters({})
         predictor = LoadDynamicsPredictor(
             model=NaiveLastValueModel(),
             scaler=scaler,
             hyperparameters=hp,
             validation_mape=naive_mape,
+            family=naive.name,
         )
         report = FitReport(
             best_hyperparameters=hp,
@@ -645,144 +482,6 @@ class LoadDynamics:
             except TypeError:
                 return self.optimizer_cls(self.space, **kwargs)
         return self.optimizer_cls(self.space, **kwargs)
-
-    def _train_and_validate(
-        self,
-        scaled: np.ndarray,
-        raw: np.ndarray,
-        scaler: MinMaxScaler,
-        config: dict,
-        i_train_end: int,
-        i_val_end: int,
-        window_cache: WindowCache | None = None,
-    ) -> tuple[float, LSTMRegressor | None, dict]:
-        """Fig. 6 steps 1–2 for one hyperparameter set.
-
-        Returns ``(validation_mape, model, metadata)``; the metadata
-        dict records training wall-clock, epochs run, and the early-stop
-        flag (or the infeasibility reason) and ends up on the trial's
-        :class:`~repro.bayesopt.optimizer.TrialRecord`.
-        """
-        cfg = self.settings
-        n = int(config["history_len"])
-
-        def infeasible(reason: str, **extra) -> tuple[float, None, dict]:
-            meta = {"infeasible": True, "reason": reason}
-            meta.update(extra)
-            return _INFEASIBLE_PENALTY, None, meta
-
-        # Feasibility: the training split must yield enough windows.
-        if i_train_end - n < cfg.min_train_windows:
-            return infeasible("too_few_train_windows")
-        if window_cache is None:
-            window_cache = WindowCache(
-                scaled, i_train_end, i_val_end, cfg.max_train_windows
-            )
-        X_train, y_train, X_val, y_val_scaled = window_cache.get(n)
-        if X_val.shape[0] < 1:
-            return infeasible("empty_validation_window")
-
-        # A diverged training is retried with a fresh weight seed and
-        # backed-off epochs/patience (bounded); a timed-out one is not —
-        # retrying a slow config would just burn the budget twice.
-        policy = RetryPolicy(max_retries=cfg.max_retries, backoff=cfg.retry_backoff)
-        last_failure: dict = {}
-        t_train = time.perf_counter()
-        for attempt in range(policy.attempts):
-            model = LSTMRegressor(
-                hidden_size=int(config["cell_size"]),
-                num_layers=int(config["num_layers"]),
-                seed=policy.seed_for(cfg.seed, attempt),
-            )
-            epoch_counter = EpochCounter()
-            callbacks: list = [epoch_counter]
-            if cfg.trial_timeout_s is not None:
-                callbacks.append(DeadlineCallback(cfg.trial_timeout_s))
-            try:
-                history = model.fit(
-                    X_train,
-                    y_train,
-                    epochs=policy.epochs_for(cfg.epochs, attempt),
-                    batch_size=int(config["batch_size"]),
-                    lr=cfg.lr,
-                    # Extended spaces (Section V) tune these; plain Table III
-                    # spaces fall back to the fixed settings.
-                    optimizer=str(config.get("optimizer", cfg.optimizer)),
-                    loss=str(config.get("loss", cfg.loss)),
-                    clip_norm=cfg.clip_norm,
-                    validation=(X_val, y_val_scaled),
-                    patience=policy.patience_for(cfg.patience, attempt),
-                    callbacks=callbacks,
-                )
-            except TrialTimeout as exc:
-                return infeasible(
-                    "trial_timeout",
-                    failing_epoch=exc.epoch,
-                    elapsed_s=exc.elapsed_s,
-                    attempts=attempt + 1,
-                )
-            except (FloatingPointError, OverflowError, np.linalg.LinAlgError) as exc:
-                last_failure = {
-                    "failing_epoch": epoch_counter.completed,
-                    "error": type(exc).__name__,
-                }
-                self._note_retry(config, attempt, policy, last_failure)
-                continue
-            bad_epochs = np.flatnonzero(~np.isfinite(history.train_loss))
-            if bad_epochs.size:
-                last_failure = {
-                    "failing_epoch": int(bad_epochs[0]),
-                    "error": "nonfinite_train_loss",
-                }
-                self._note_retry(config, attempt, policy, last_failure)
-                continue
-            break  # trained cleanly
-        else:
-            return infeasible(
-                "training_diverged", attempts=policy.attempts, **last_failure
-            )
-        meta = {
-            "train_seconds": time.perf_counter() - t_train,
-            "epochs_run": history.epochs_run,
-            "stopped_early": history.stopped_early,
-            "best_epoch": history.best_epoch,
-            "n_train_windows": int(len(y_train)),
-            "attempts": attempt + 1,
-        }
-
-        # Validation error in *raw* JAR units (MAPE is scale-sensitive).
-        pred_scaled = model.predict(X_val)
-        pred = np.maximum(scaler.inverse_transform(pred_scaled), 0.0)
-        actual = scaler.inverse_transform(y_val_scaled)
-        try:
-            value = mape(pred, actual)
-        except ValueError:
-            return infeasible("validation_mape_undefined")
-        if not np.isfinite(value):
-            return infeasible("validation_mape_nonfinite")
-        return value, model, meta
-
-    def _note_retry(
-        self, config: dict, attempt: int, policy: RetryPolicy, failure: dict
-    ) -> None:
-        """Telemetry for one failed training attempt (before any retry)."""
-        will_retry = attempt < policy.max_retries
-        logger.log(
-            20 if will_retry else 10,  # INFO while retrying, DEBUG when giving up
-            "training attempt %d/%d failed (%s at epoch %s) for %s%s",
-            attempt + 1,
-            policy.attempts,
-            failure.get("error"),
-            failure.get("failing_epoch"),
-            config,
-            "; retrying with reseed" if will_retry else "",
-        )
-        if will_retry:
-            _metrics.counter("trial.retries").inc()
-            if _events.enabled():
-                _events.emit(
-                    "trial.retry", attempt=attempt + 1, config=dict(config), **failure
-                )
 
     # ------------------------------------------------------------------
     def evaluate(

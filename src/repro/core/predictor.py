@@ -1,10 +1,17 @@
 """The deployable predictor ``f`` produced by the LoadDynamics workflow.
 
-Bundles the best LSTM model found by Bayesian Optimization with its
-min-max scaler and hyperparameters.  Implements the same one-step-ahead
-protocol as the baselines (:class:`repro.baselines.base.Predictor`), so
-the experiment harness and the auto-scaler treat LoadDynamics and the
-comparators uniformly.
+Bundles the best model found by the self-optimization loop with its
+min-max scaler, hyperparameters, and model-family tag.  Implements the
+same one-step-ahead protocol as the baselines
+(:class:`repro.baselines.base.Predictor`), so the experiment harness and
+the auto-scaler treat LoadDynamics and the comparators uniformly.
+
+Persistence is family-dispatched: the predictor directory's
+``predictor.json`` records which :mod:`repro.models` family wrote the
+model, and that family's ``save_model``/``load_model`` own the weight
+format (npz for the recurrent families, pickle for the classical ones,
+a marker file for the naive fallback).  Directories written before the
+family tag existed load as ``lstm`` — the only family that existed.
 """
 
 from __future__ import annotations
@@ -15,11 +22,8 @@ from pathlib import Path
 import numpy as np
 
 from repro.baselines.base import Predictor
-from repro.core.config import LSTMHyperparameters
 from repro.core.scaling import MinMaxScaler
 from repro.core.windowing import windows_for_range
-from repro.nn.network import LSTMRegressor
-from repro.nn.serialization import load_regressor, save_regressor
 
 __all__ = ["LoadDynamicsPredictor", "NaiveLastValueModel"]
 
@@ -27,10 +31,10 @@ __all__ = ["LoadDynamicsPredictor", "NaiveLastValueModel"]
 class NaiveLastValueModel:
     """Persistence model used when the whole optimization degrades.
 
-    Drop-in for :class:`LSTMRegressor` in the predictor plumbing:
-    ``predict`` returns the last value of each window, which — with
-    ``history_len=1`` hyperparameters — makes the predictor a plain
-    last-value forecaster.  Returned by
+    Drop-in for :class:`~repro.nn.network.LSTMRegressor` in the
+    predictor plumbing: ``predict`` returns the last value of each
+    window, which — with ``history_len=1`` hyperparameters — makes the
+    predictor a plain last-value forecaster.  Returned by
     :meth:`repro.core.framework.LoadDynamics.fit` when every trial was
     infeasible, so callers always receive *some* usable predictor
     (flagged via ``FitReport.degraded``).
@@ -54,25 +58,35 @@ class NaiveLastValueModel:
 
 
 class LoadDynamicsPredictor(Predictor):
-    """Trained LSTM + scaler + hyperparameters (workflow step 5)."""
+    """Trained model + scaler + hyperparameters (workflow step 5)."""
 
     name = "loaddynamics"
 
     def __init__(
         self,
-        model: LSTMRegressor,
+        model,
         scaler: MinMaxScaler,
-        hyperparameters: LSTMHyperparameters,
+        hyperparameters,
         validation_mape: float = float("nan"),
+        family: str = "lstm",
     ):
-        if model.hidden_size != hyperparameters.cell_size:
-            raise ValueError("model hidden size disagrees with hyperparameters")
-        if model.num_layers != hyperparameters.num_layers:
-            raise ValueError("model layer count disagrees with hyperparameters")
+        # Shape-consistency guard where both sides carry NN shape info
+        # (the recurrent families); classical models have no cell/layer
+        # notion, so there is nothing to cross-check.
+        model_width = getattr(model, "hidden_size", None)
+        hp_width = getattr(hyperparameters, "cell_size", None)
+        if model_width is not None and hp_width is not None:
+            if model_width != hp_width:
+                raise ValueError("model hidden size disagrees with hyperparameters")
+            if getattr(model, "num_layers", None) != getattr(
+                hyperparameters, "num_layers", None
+            ):
+                raise ValueError("model layer count disagrees with hyperparameters")
         self.model = model
         self.scaler = scaler
         self.hyperparameters = hyperparameters
         self.validation_mape = float(validation_mape)
+        self.family = str(family)
         self.min_history = hyperparameters.history_len
 
     # ------------------------------------------------------------------
@@ -122,16 +136,20 @@ class LoadDynamicsPredictor(Predictor):
     # persistence
     # ------------------------------------------------------------------
     def save(self, directory: str | Path) -> Path:
-        """Persist model weights + scaler + hyperparameters to a directory."""
-        if getattr(self.model, "degraded", False):
-            raise ValueError(
-                "cannot persist a degraded (naive-fallback) predictor; "
-                "re-run the optimization with feasible settings first"
-            )
+        """Persist model + scaler + hyperparameters to a directory.
+
+        The model's weight format is owned by its family's
+        ``save_model``; ``predictor.json`` records the family so
+        :meth:`load` can dispatch back.  Degraded (naive-fallback)
+        predictors persist too — their family writes a marker file.
+        """
+        from repro.models import get_family
+
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
-        save_regressor(self.model, directory / "model.npz")
+        get_family(self.family).save_model(self.model, directory)
         meta = {
+            "family": self.family,
             "hyperparameters": self.hyperparameters.as_dict(),
             "scaler": self.scaler.state(),
             "validation_mape": self.validation_mape,
@@ -141,20 +159,26 @@ class LoadDynamicsPredictor(Predictor):
 
     @classmethod
     def load(cls, directory: str | Path) -> "LoadDynamicsPredictor":
+        from repro.models import get_family
+
         directory = Path(directory)
         meta = json.loads((directory / "predictor.json").read_text())
-        model = load_regressor(directory / "model.npz")
+        # Pre-family directories carry no tag; they were all LSTM.
+        family = get_family(meta.get("family", "lstm"))
+        model = family.load_model(directory)
         return cls(
             model=model,
             scaler=MinMaxScaler.from_state(meta["scaler"]),
-            hyperparameters=LSTMHyperparameters.from_dict(meta["hyperparameters"]),
+            hyperparameters=family.hyperparameters(meta["hyperparameters"]),
             validation_mape=meta.get("validation_mape", float("nan")),
+            family=family.name,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        hp = self.hyperparameters
+        hp = self.hyperparameters.as_dict()
+        extras = ", ".join(f"{k}={v}" for k, v in hp.items() if k != "history_len")
         return (
-            f"LoadDynamicsPredictor(n={hp.history_len}, s={hp.cell_size}, "
-            f"layers={hp.num_layers}, batch={hp.batch_size}, "
+            f"LoadDynamicsPredictor(family={self.family}, "
+            f"n={hp['history_len']}{', ' + extras if extras else ''}, "
             f"val_mape={self.validation_mape:.2f}%)"
         )

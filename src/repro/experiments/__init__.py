@@ -11,7 +11,8 @@ CI-scale settings documented in DESIGN.md §6.
 * :mod:`fig9` — the headline 14-configuration accuracy comparison
 * :mod:`table4` — min–max of BO-selected hyperparameters per trace
 * :mod:`fig10` — auto-scaling case study on Azure-60m
-* :mod:`ablations` — BO vs random vs grid; acquisition functions
+* :mod:`ablations` — BO vs random vs grid; acquisition functions;
+  model families
 """
 
 from repro.experiments.common import (
@@ -26,7 +27,11 @@ from repro.experiments.fig5 import run_fig5
 from repro.experiments.fig9 import Fig9Result, run_fig9
 from repro.experiments.fig10 import run_fig10
 from repro.experiments.table4 import run_table4
-from repro.experiments.ablations import run_acquisition_ablation, run_search_ablation
+from repro.experiments.ablations import (
+    run_acquisition_ablation,
+    run_family_ablation,
+    run_search_ablation,
+)
 
 __all__ = [
     "run_fig2",
@@ -37,6 +42,7 @@ __all__ = [
     "run_fig10",
     "run_search_ablation",
     "run_acquisition_ablation",
+    "run_family_ablation",
     "fit_loaddynamics",
     "baseline_test_mape",
     "evaluate_on_test",

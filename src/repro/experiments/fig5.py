@@ -15,7 +15,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import FrameworkSettings, LoadDynamics, search_space_for
+from repro.core import FrameworkSettings, search_space_for
+from repro.core.data import prepare_data
+from repro.core.evaluation import TrialEvaluator
+from repro.models import get_family
 from repro.traces import get_configuration
 
 __all__ = ["run_fig5"]
@@ -45,24 +48,20 @@ def run_fig5(
         # validation set rescue bad configurations and compress the
         # spread the figure exists to show).
         settings = FrameworkSettings.reduced(max_iters=1, epochs=15, patience=10_000)
-    ld = LoadDynamics(space=space, settings=settings)
 
-    # Reuse the framework's private train/validate step directly so each
-    # sample costs exactly one training run (no BO machinery).
-    from repro.core.scaling import MinMaxScaler
-
-    n_total = len(series)
-    i_train = int(round(settings.train_frac * n_total))
-    i_val = int(round((settings.train_frac + settings.val_frac) * n_total))
-    scaler = MinMaxScaler().fit(series[:i_train])
-    scaled = scaler.transform(series)
+    # Use the trial-evaluation stage directly so each sample costs
+    # exactly one training run (no BO machinery); the shared window
+    # cache makes repeated history lengths free.
+    data = prepare_data(series, settings)
+    evaluator = TrialEvaluator(get_family("lstm"), settings)
 
     rng = np.random.default_rng(seed)
     configs = space.sample(rng, n_models)
     mapes: list[float] = []
     for config in configs:
-        value, model, _meta = ld._train_and_validate(
-            scaled, series, scaler, config, i_train, i_val
+        value, model, _meta = evaluator.evaluate(
+            data.scaled, data.raw, data.scaler, config,
+            data.i_train_end, data.i_val_end, window_cache=data.window_cache,
         )
         if model is not None:
             mapes.append(value)

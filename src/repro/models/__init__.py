@@ -1,0 +1,47 @@
+"""Pluggable model families behind the self-optimization loop.
+
+The paper's framework is *generic*: the Fig. 6 outer loop (suggest →
+train → validate → tell → select) does not care what kind of model a
+trial trains.  This package makes that real — a
+:class:`~repro.models.base.ModelFamily` bundles a family's search
+space, trial training, predictor packaging, and persistence behind one
+protocol, and a registry resolves families by name for
+``LoadDynamics(family=...)`` and ``repro fit --family``.
+
+Built-in families:
+
+========  =========  ====================================================
+name      kind       model
+========  =========  ====================================================
+lstm      nn         stacked LSTM (paper default, Table III space)
+gru       nn         stacked GRU, same Table III space
+gbr       classical  gradient-boosted CART trees over lag windows
+svr       classical  RBF-kernel epsilon-SVR over lag windows
+naive     fallback   last-value persistence (graceful degradation)
+========  =========  ====================================================
+
+Adding a family: subclass :class:`ModelFamily`, implement the protocol,
+and call :func:`register_family` — see DESIGN.md §9 for a walkthrough.
+"""
+
+from repro.models.base import ModelFamily
+from repro.models.classical import GBRFamily, SVRFamily
+from repro.models.naive import NaiveFamily
+from repro.models.nn import GRUFamily, LSTMFamily
+from repro.models.registry import get_family, list_families, register_family
+
+__all__ = [
+    "ModelFamily",
+    "LSTMFamily",
+    "GRUFamily",
+    "GBRFamily",
+    "SVRFamily",
+    "NaiveFamily",
+    "register_family",
+    "get_family",
+    "list_families",
+]
+
+for _family in (LSTMFamily(), GRUFamily(), GBRFamily(), SVRFamily(), NaiveFamily()):
+    register_family(_family)
+del _family

@@ -1,0 +1,40 @@
+"""Name → :class:`~repro.models.base.ModelFamily` registry.
+
+``LoadDynamics(family="gru")``, ``repro fit --family gbr``, and
+predictor loading all resolve families here.  The built-in families are
+registered by :mod:`repro.models` at import time; external code can
+register additional families before fitting.
+"""
+
+from __future__ import annotations
+
+from repro.models.base import ModelFamily
+
+__all__ = ["register_family", "get_family", "list_families"]
+
+_REGISTRY: dict[str, ModelFamily] = {}
+
+
+def register_family(family: ModelFamily) -> ModelFamily:
+    """Register a family instance under its ``name`` (last wins)."""
+    if not isinstance(family, ModelFamily):
+        raise TypeError(f"expected a ModelFamily instance, got {family!r}")
+    _REGISTRY[family.name] = family
+    return family
+
+
+def get_family(family: str | ModelFamily) -> ModelFamily:
+    """Resolve a family by name (instances pass through unchanged)."""
+    if isinstance(family, ModelFamily):
+        return family
+    try:
+        return _REGISTRY[family]
+    except KeyError:
+        raise ValueError(
+            f"unknown model family {family!r}; registered: {list_families()}"
+        ) from None
+
+
+def list_families() -> list[str]:
+    """Registered family names, in registration order."""
+    return list(_REGISTRY)

@@ -272,15 +272,26 @@ class TestLoadDynamicsResilience:
         # The naive fallback still predicts.
         assert predictor.predict_next(sine_series) == pytest.approx(sine_series[-1])
 
-    def test_degraded_predictor_not_persistable(self, sine_series, tiny_space,
-                                                tmp_path):
+    def test_degraded_predictor_persists_via_naive_family(
+        self, sine_series, tiny_space, tmp_path
+    ):
+        from repro.core import LoadDynamicsPredictor
+
         settings = FrameworkSettings.tiny(max_iters=2, trial_timeout_s=1e-5)
         predictor, report = LoadDynamics(
             space=tiny_space, settings=settings
         ).fit(sine_series)
         assert report.degraded
-        with pytest.raises(ValueError, match="degraded"):
-            predictor.save(tmp_path / "model")
+        assert predictor.family == "naive"
+        # Degraded fits persist like any other: the naive family owns the
+        # (weight-free) model format, and the round-trip predicts the same.
+        predictor.save(tmp_path / "model")
+        loaded = LoadDynamicsPredictor.load(tmp_path / "model")
+        assert loaded.family == "naive"
+        assert loaded.model.degraded
+        assert loaded.predict_next(sine_series) == pytest.approx(
+            predictor.predict_next(sine_series)
+        )
 
     def test_gp_fault_does_not_abort_fit(self, sine_series, tiny_space):
         settings = FrameworkSettings.tiny(max_iters=4)
