@@ -14,8 +14,8 @@ call time, not just import time):
 
 * substrate packages must not import ``repro.core``, ``repro.models``,
   ``repro.cli``, or ``repro.experiments`` — they are leaf libraries;
-* ``repro.models`` must not import ``repro.cli`` or
-  ``repro.experiments`` — families are library code, not entry points.
+* ``repro.models`` and ``repro.serving`` must not import ``repro.cli``
+  or ``repro.experiments`` — they are library code, not entry points.
 
 Exit status 0 when clean; 1 with one line per violation otherwise.
 Run directly or via ``scripts/ci.sh``.
@@ -34,6 +34,7 @@ _FORBIDDEN: dict[str, tuple[str, ...]] = {
     "baselines": ("repro.core", "repro.models", "repro.cli", "repro.experiments"),
     "gp": ("repro.core", "repro.models", "repro.cli", "repro.experiments"),
     "models": ("repro.cli", "repro.experiments"),
+    "serving": ("repro.cli", "repro.experiments"),
 }
 
 

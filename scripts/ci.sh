@@ -28,3 +28,15 @@ python scripts/perf_smoke.py
 echo "== model-family smoke (non-default family end to end) =="
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro.cli fit gl-30m \
     --budget tiny --family gru --max-iters 2 --epochs 3
+
+echo "== serving chaos (guarded simulate must survive injected faults) =="
+SERVE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SERVE_DIR"' EXIT
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro.cli fit fb-10m \
+    --budget tiny --max-iters 2 --epochs 3 --save "$SERVE_DIR/model"
+REPRO_FAULTS="nan@serve.predict:*" \
+    PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro.cli simulate \
+    fb-10m --guarded --model-dir "$SERVE_DIR/model"
+REPRO_FAULTS="corrupt@model.load:1" \
+    PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro.cli simulate \
+    fb-10m --guarded --model-dir "$SERVE_DIR/model"

@@ -12,7 +12,12 @@ behaviour:
 * ``slow@nn.fit`` + ``--trial-timeout`` — slow trials are recorded
   infeasible with reason ``trial_timeout``;
 * ``kill@objective`` + journal — the run dies mid-flight, then resumes
-  from the journal and finishes with the journaled trials replayed.
+  from the journal and finishes with the journaled trials replayed;
+* ``nan@serve.predict`` / ``boom@serve.predict`` — guarded serving sheds
+  the sick model to the fallback chain (and trips the breaker);
+* ``boom@adaptive.refit`` — a crashing refit keeps the incumbent model;
+* ``corrupt@model.load`` + real truncation — loading surfaces a typed
+  ``CorruptModelError`` or degrades to the fallback chain.
 
 Exit status: 0 when every scenario recovers as specified, 1 otherwise.
 """
@@ -118,11 +123,105 @@ def smoke_kill_and_resume(series) -> None:
         assert not report.degraded
 
 
+def smoke_serving_nan_prediction(series) -> None:
+    """NaN forecasts must be shed to the fallback chain, never served."""
+    from repro.baselines import LastValuePredictor, walk_forward
+    from repro.serving import GuardedPredictor, default_fallbacks
+
+    guarded = GuardedPredictor(
+        LastValuePredictor(), fallbacks=default_fallbacks(24)
+    )
+    with faults.injected("nan@serve.predict:*"):
+        preds = walk_forward(guarded, series, 200, 230)
+    assert np.all(np.isfinite(preds)) and np.all(preds >= 0)
+    assert guarded.served_by.get("primary", 0) == 0, \
+        "a NaN forecast must never be served as the primary's"
+    assert sum(guarded.served_by.values()) == 30, "every interval must be served"
+
+
+def smoke_serving_breaker(series) -> None:
+    """A persistently crashing model must trip the breaker and be shed."""
+    from repro.baselines import LastValuePredictor, walk_forward
+    from repro.serving import OPEN, GuardedPredictor
+
+    guarded = GuardedPredictor(LastValuePredictor())
+    with faults.injected("boom@serve.predict:*"):
+        preds = walk_forward(guarded, series, 200, 230)
+    assert np.all(np.isfinite(preds))
+    assert guarded.breaker.state == OPEN, "breaker must open under sustained failure"
+    assert any(t[1] == OPEN for t in guarded.breaker.transitions)
+
+
+def smoke_refit_crash(series) -> None:
+    """A crashing drift-triggered refit keeps the incumbent model serving."""
+    from repro.baselines import walk_forward
+    from repro.core import AdaptiveLoadDynamics
+
+    shifted = np.concatenate([series[:120], series[:120] * 8 + 500])
+    adaptive = AdaptiveLoadDynamics(
+        space=search_space_for("default", "tiny"),
+        settings=FrameworkSettings.tiny(max_iters=2, epochs=4),
+        drift_window=4,
+        drift_factor=1.5,
+        min_refit_gap=10,
+        refit_retries=0,
+    )
+    with faults.injected("boom@adaptive.refit:2"):
+        preds = walk_forward(adaptive, shifted, 100, 160)
+    assert np.all(np.isfinite(preds))
+    assert adaptive.predictor is not None, "incumbent model must survive the crash"
+    assert adaptive.failed_refits >= 1, "the failed refit must be recorded"
+
+
+def smoke_corrupt_model(series) -> None:
+    """Corrupted predictor directories raise typed errors / degrade cleanly."""
+    from repro.core import LSTMHyperparameters, LoadDynamicsPredictor, MinMaxScaler
+    from repro.core.predictor import NaiveLastValueModel
+    from repro.serving import CorruptModelError, GuardedPredictor
+
+    with tempfile.TemporaryDirectory() as tmp:
+        predictor = LoadDynamicsPredictor(
+            model=NaiveLastValueModel(),
+            scaler=MinMaxScaler().fit(series),
+            hyperparameters=LSTMHyperparameters(1, 1, 1, 1),
+            family="naive",
+        )
+        directory = predictor.save(Path(tmp) / "model")
+
+        # Injected disk corruption on an intact directory.
+        try:
+            with faults.injected("corrupt@model.load:*"):
+                GuardedPredictor.load(directory)
+        except CorruptModelError:
+            pass
+        else:
+            raise AssertionError("corrupt@model.load must raise CorruptModelError")
+
+        # Real on-disk truncation of the manifest.
+        manifest = directory / "predictor.json"
+        manifest.write_text(manifest.read_text()[: 40])
+        try:
+            GuardedPredictor.load(directory)
+        except CorruptModelError:
+            pass
+        else:
+            raise AssertionError("truncated manifest must raise CorruptModelError")
+
+        guarded = GuardedPredictor.load(directory, on_corrupt="fallback")
+        assert guarded.primary is None
+        p = guarded.predict_next(series)
+        assert np.isfinite(p) and p >= 0, "fallback chain must still serve"
+
+
 SCENARIOS = (
     smoke_nan_loss,
     smoke_gp_linalg,
     smoke_trial_timeout,
     smoke_kill_and_resume,
+    smoke_serving_nan_prediction,
+    smoke_serving_breaker,
+    smoke_refit_crash,
+    smoke_corrupt_model,
 )
 
 

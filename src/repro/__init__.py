@@ -27,6 +27,7 @@ Subpackages (see DESIGN.md for the full inventory):
 ``repro.baselines``    CloudInsight (21 experts), CloudScale, Wood et al.
 ``repro.traces``       synthetic stand-ins for the five public traces
 ``repro.autoscale``    cloud simulator + predictive auto-scaling policies
+``repro.serving``      serving robustness: sanitizer, guard, breaker
 ``repro.experiments``  one runner per paper table/figure
 ``repro.obs``          observability: events, metrics, spans, loggers
 =====================  ====================================================

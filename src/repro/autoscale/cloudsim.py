@@ -112,8 +112,18 @@ class CloudSimulator:
         ``arrivals[i]`` and ``provisioned[i]`` are interpreted as VM/job
         counts (fractions are rounded up — you cannot provision 0.4 VMs).
         """
-        a = np.ceil(np.asarray(arrivals, dtype=np.float64)).astype(np.int64)
-        p = np.ceil(np.asarray(provisioned, dtype=np.float64)).astype(np.int64)
+        a_raw = np.asarray(arrivals, dtype=np.float64)
+        p_raw = np.asarray(provisioned, dtype=np.float64)
+        # NaN/inf would silently wrap through the int64 cast into garbage
+        # provisioning; reject loudly — forecasts must be guarded
+        # upstream (repro.serving.GuardedPredictor) before reaching here.
+        if not np.all(np.isfinite(a_raw)) or not np.all(np.isfinite(p_raw)):
+            raise ValueError(
+                "arrivals and provisioned must be finite; guard predictions "
+                "with repro.serving before simulating"
+            )
+        a = np.ceil(a_raw).astype(np.int64)
+        p = np.ceil(p_raw).astype(np.int64)
         if a.shape != p.shape:
             raise ValueError("arrivals and provisioned must have the same length")
         if np.any(a < 0) or np.any(p < 0):

@@ -37,9 +37,17 @@ def provisioning_schedule(
     """Predicted VM counts for intervals ``start..end`` of ``arrivals``.
 
     Each prediction uses only arrivals before the target interval
-    (walk-forward); results are rounded up to whole VMs.
+    (walk-forward); results are rounded up to whole VMs.  The schedule
+    is validated finite before it reaches the simulator — the autoscaler
+    must never act on a non-finite forecast, whatever predictor
+    produced it.
     """
     preds = walk_forward(predictor, arrivals, start, refit_every=refit_every)
+    if not np.all(np.isfinite(preds)):
+        raise ValueError(
+            f"predictor {predictor.name!r} produced non-finite forecasts; "
+            "wrap it in repro.serving.GuardedPredictor for online use"
+        )
     return np.ceil(np.maximum(preds, 0.0))
 
 

@@ -21,7 +21,12 @@ Contents:
 from repro.baselines.base import Predictor, walk_forward
 from repro.baselines.cloudinsight import CloudInsight
 from repro.baselines.cloudscale import CloudScale
-from repro.baselines.naive import KNNPredictor, MeanPredictor
+from repro.baselines.naive import (
+    KNNPredictor,
+    LastValuePredictor,
+    MeanPredictor,
+    SeasonalNaivePredictor,
+)
 from repro.baselines.regression import PolynomialTrendPredictor
 from repro.baselines.seasonal import HoltWintersSeasonalPredictor
 from repro.baselines.registry import (
@@ -44,8 +49,10 @@ from repro.baselines.wood import WoodPredictor
 __all__ = [
     "Predictor",
     "walk_forward",
+    "LastValuePredictor",
     "MeanPredictor",
     "KNNPredictor",
+    "SeasonalNaivePredictor",
     "PolynomialTrendPredictor",
     "HoltWintersSeasonalPredictor",
     "WMAPredictor",

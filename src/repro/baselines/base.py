@@ -81,7 +81,10 @@ def walk_forward(
             predictor.fit(history)
         p = predictor.predict_next(history)
         if not np.isfinite(p):
-            p = float(history[-1])
+            # Persistence rescue; a non-finite last value (unsanitized
+            # trace) must not leak through as the "rescue".
+            last = float(history[-1])
+            p = last if np.isfinite(last) else 0.0
         if clip_nonnegative:
             p = max(p, 0.0)
         preds[j] = p

@@ -7,7 +7,48 @@ import numpy as np
 from repro.baselines.base import Predictor
 from repro.ml.neighbors import KNNRegressor
 
-__all__ = ["MeanPredictor", "KNNPredictor"]
+__all__ = [
+    "LastValuePredictor",
+    "MeanPredictor",
+    "KNNPredictor",
+    "SeasonalNaivePredictor",
+]
+
+
+class LastValuePredictor(Predictor):
+    """Persistence: the next JAR equals the last observed one.
+
+    The terminal stage of the serving fallback chain
+    (:class:`repro.serving.guard.GuardedPredictor`) — the cheapest
+    forecast that is always available and always finite on a sane
+    history.
+    """
+
+    name = "last-value"
+
+    def predict_next(self, history: np.ndarray) -> float:
+        return self._fallback(history)
+
+
+class SeasonalNaivePredictor(Predictor):
+    """Lag-``period`` persistence: predict the value one season ago.
+
+    Strong on cyclic workloads, trivially cheap, and stateless — the
+    classic seasonal baseline (and the mid-tier of the serving fallback
+    chain, where it covers for a shed model without flattening daily
+    cycles the way plain persistence would).
+    """
+
+    def __init__(self, period: int):
+        if period < 2:
+            raise ValueError("period must be >= 2")
+        self.period = int(period)
+        self.name = f"seasonal-naive-{period}"
+
+    def predict_next(self, history: np.ndarray) -> float:
+        if len(history) < self.period:
+            return self._fallback(history)
+        return float(history[-self.period])
 
 
 class MeanPredictor(Predictor):

@@ -7,6 +7,8 @@ Commands map 1:1 to the experiment runners and the core workflow:
 * ``fit`` — run LoadDynamics on a configuration, optionally save the
   predictor;
 * ``predict`` — load a saved predictor and forecast the next interval;
+* ``simulate`` — serve a predictor online through the auto-scaling case
+  study, optionally ``--guarded`` (sanitization, fallbacks, breaker);
 * ``fig2`` / ``fig5`` / ``fig9`` / ``table4`` / ``fig10`` / ``ablation``
   — regenerate the paper artifacts at a chosen budget.
 
@@ -79,6 +81,31 @@ def build_parser() -> argparse.ArgumentParser:
     pred = sub.add_parser("predict", help="forecast with a saved predictor")
     pred.add_argument("model_dir", help="directory written by `repro fit --save`")
     pred.add_argument("config", help="workload configuration key for the history")
+
+    sim = sub.add_parser(
+        "simulate",
+        help="serve a predictor online through the autoscaler case study",
+    )
+    sim.add_argument("config", help="workload configuration key, e.g. gl-30m")
+    sim.add_argument("--guarded", action="store_true",
+                     help="wrap the predictor in repro.serving.GuardedPredictor "
+                          "(output validation, fallback chain, circuit breaker)")
+    sim.add_argument("--model-dir", metavar="DIR", default=None,
+                     help="serve a predictor saved by `repro fit --save` "
+                          "(default: fit a fresh one on the training prefix)")
+    sim.add_argument("--adaptive", action="store_true",
+                     help="serve the self-healing AdaptiveLoadDynamics loop "
+                          "(drift-triggered refits) instead of a frozen model")
+    sim.add_argument("--repair", default=None,
+                     choices=("interpolate", "clip", "ffill"),
+                     help="sanitize the trace with this repair policy before "
+                          "serving (default: serve the raw trace)")
+    sim.add_argument("--budget", default="tiny", choices=("paper", "reduced", "tiny"))
+    sim.add_argument("--max-iters", type=int, default=3, help="BO iterations for the fit")
+    sim.add_argument("--epochs", type=int, default=8)
+    sim.add_argument("--start-frac", type=float, default=0.8,
+                     help="serve the last (1 - START_FRAC) of the trace (default 0.8)")
+    sim.add_argument("--refit-every", type=int, default=1)
 
     for name, help_text in (
         ("fig2", "prior-predictor motivation (Fig. 2)"),
@@ -191,6 +218,90 @@ def _cmd_predict(args) -> int:
     return 0
 
 
+def _cmd_simulate(args) -> int:
+    from repro.core import (
+        AdaptiveLoadDynamics,
+        FrameworkSettings,
+        LoadDynamics,
+        LoadDynamicsPredictor,
+        search_space_for,
+    )
+    from repro.serving import (
+        GuardedPredictor,
+        TraceSanitizer,
+        daily_period,
+        default_fallbacks,
+        serve_and_simulate,
+    )
+    from repro.traces import get_configuration
+
+    if not 0.0 < args.start_frac < 1.0:
+        print("error: --start-frac must be in (0, 1)", file=sys.stderr)
+        return 2
+    if args.adaptive and args.model_dir:
+        print("error: --adaptive and --model-dir are mutually exclusive",
+              file=sys.stderr)
+        return 2
+
+    cfg = get_configuration(args.config)
+    series = cfg.load()
+    if args.repair:
+        series, report = TraceSanitizer(policy=args.repair).sanitize(series)
+        print(f"sanitizer         : {report.summary()}")
+    start = int(len(series) * args.start_frac)
+    trace = args.config.split("-")[0]
+    if args.budget == "tiny":
+        settings = FrameworkSettings.tiny(max_iters=args.max_iters, epochs=args.epochs)
+    else:
+        settings = FrameworkSettings.reduced(
+            max_iters=args.max_iters, epochs=args.epochs
+        )
+    space = search_space_for(trace, args.budget)
+    fallbacks = default_fallbacks(daily_period(cfg.interval_minutes))
+
+    if args.adaptive:
+        predictor = AdaptiveLoadDynamics(space=space, settings=settings)
+    elif args.model_dir:
+        if args.guarded:
+            # The guarded load shields against a corrupted directory by
+            # degrading to the fallback chain instead of dying.
+            predictor = GuardedPredictor.load(
+                args.model_dir, on_corrupt="fallback", fallbacks=fallbacks
+            )
+        else:
+            predictor = LoadDynamicsPredictor.load(args.model_dir)
+    else:
+        predictor, fit_report = LoadDynamics(space=space, settings=settings).fit(
+            series[:start]
+        )
+        if fit_report.degraded:
+            print(f"fit DEGRADED      : {fit_report.degraded_reason}")
+    if args.guarded and not isinstance(predictor, GuardedPredictor):
+        predictor = GuardedPredictor(predictor, fallbacks=fallbacks)
+
+    report = serve_and_simulate(
+        predictor, series, start, refit_every=args.refit_every
+    )
+    res = report.result
+    print(f"workload          : {args.config} "
+          f"(serving {res.n_intervals} of {len(series)} intervals)")
+    print(f"predictor         : {predictor.name}")
+    print(f"mean turnaround   : {res.mean_turnaround:.1f}s")
+    print(f"under-provisioned : {res.underprovision_rate:.1f}%")
+    print(f"over-provisioned  : {res.overprovision_rate:.1f}%")
+    print(f"VM time paid      : {res.vm_seconds / 3600.0:.1f} VM-hours")
+    if report.served_by:
+        stages = " ".join(f"{k}={v}" for k, v in sorted(report.served_by.items()))
+        print(f"served by         : {stages}")
+    if report.serving_counters:
+        print("serving counters  :")
+        for name, value in sorted(report.serving_counters.items()):
+            print(f"  {name:32s} {value:g}")
+    for frm, to, reason in report.breaker_transitions:
+        print(f"breaker           : {frm} -> {to} ({reason})")
+    return 0
+
+
 def _cmd_figures(args) -> int:
     from repro.experiments import (
         format_table,
@@ -265,6 +376,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_fit(args)
         if args.command == "predict":
             return _cmd_predict(args)
+        if args.command == "simulate":
+            return _cmd_simulate(args)
         return _cmd_figures(args)
     finally:
         if trace_sink is not None:

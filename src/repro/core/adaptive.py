@@ -18,11 +18,24 @@ module implements that variant:
 
 The re-optimization is synchronous and uses the same budget as the
 initial fit, so pick reduced/tiny settings for online use.
+
+Serving hardening: a refit is an expensive, failure-prone training run
+executed *inside* the serving loop, so it must never take serving down.
+Each refit runs through a :class:`~repro.resilience.retry.RetryPolicy`
+(fresh seed per attempt) under an optional wall-clock deadline; if every
+attempt fails — or a successful one lands past the deadline while an
+incumbent exists — the incumbent predictor keeps serving, the refit
+cool-down applies (so a poisoned history does not retrain every
+interval), and an ``adaptive.refit_failed`` event plus counter record
+the degradation.  The ``adaptive.refit`` fault site makes this path
+chaos-testable.
 """
 
 from __future__ import annotations
 
+import time
 from collections import deque
+from dataclasses import replace
 
 import numpy as np
 
@@ -31,8 +44,15 @@ from repro.bayesopt.space import SearchSpace
 from repro.core.config import FrameworkSettings, search_space_for
 from repro.core.framework import LoadDynamics
 from repro.core.predictor import LoadDynamicsPredictor
+from repro.obs import events as _events
+from repro.obs import metrics as _metrics
+from repro.obs.logging import get_logger
+from repro.resilience import faults as _faults
+from repro.resilience.retry import RetryPolicy
 
 __all__ = ["AdaptiveLoadDynamics"]
+
+logger = get_logger("core.adaptive")
 
 
 class AdaptiveLoadDynamics(Predictor):
@@ -54,6 +74,14 @@ class AdaptiveLoadDynamics(Predictor):
     max_history:
         Cap on the history used for retraining (most recent kept); the
         point of retraining is adapting to the *new* pattern.
+    refit_retries:
+        Extra refit attempts (fresh framework seed each) when the
+        synchronous retrain raises; the incumbent predictor keeps
+        serving throughout.
+    refit_deadline_s:
+        Wall-clock budget for one drift refit (all attempts); a refit
+        finishing past it is discarded in favour of the incumbent.
+        ``None`` disables the deadline.
     """
 
     name = "adaptive-loaddynamics"
@@ -69,6 +97,8 @@ class AdaptiveLoadDynamics(Predictor):
         error_floor: float = 5.0,
         min_refit_gap: int = 20,
         max_history: int | None = 600,
+        refit_retries: int = 1,
+        refit_deadline_s: float | None = None,
     ):
         if drift_window < 2:
             raise ValueError("drift_window must be >= 2")
@@ -76,6 +106,8 @@ class AdaptiveLoadDynamics(Predictor):
             raise ValueError("drift_factor must be > 1")
         if min_refit_gap < 1:
             raise ValueError("min_refit_gap must be >= 1")
+        if refit_deadline_s is not None and refit_deadline_s <= 0:
+            raise ValueError("refit_deadline_s must be positive (or None)")
         self._space = space if space is not None else search_space_for(trace_name, budget)
         self._settings = settings if settings is not None else FrameworkSettings.reduced()
         self.drift_window = int(drift_window)
@@ -83,9 +115,12 @@ class AdaptiveLoadDynamics(Predictor):
         self.error_floor = float(error_floor)
         self.min_refit_gap = int(min_refit_gap)
         self.max_history = max_history
+        self.refit_policy = RetryPolicy(max_retries=int(refit_retries))
+        self.refit_deadline_s = refit_deadline_s
 
         self.predictor: LoadDynamicsPredictor | None = None
         self.refit_history: list[int] = []  # history lengths at each (re)fit
+        self.failed_refits = 0  # refits that kept the incumbent predictor
         self._recent_errors: deque[float] = deque(maxlen=self.drift_window)
         self._last_pred: float | None = None
         self._last_len = -1
@@ -126,17 +161,87 @@ class AdaptiveLoadDynamics(Predictor):
         return float(np.mean(self._recent_errors)) > self.drift_factor * self._reference_error()
 
     # ------------------------------------------------------------------
-    def _refit(self, history: np.ndarray) -> None:
+    def _refit(self, history: np.ndarray) -> bool:
+        """Retrain through the retry policy; never raises (except crashes).
+
+        Returns ``True`` when a fresh predictor was installed.  On
+        failure or a blown deadline the incumbent keeps serving and the
+        cool-down applies, so the serving loop survives a poisoned
+        retrain window.
+        """
         h = history
         if self.max_history is not None and len(h) > self.max_history:
             h = h[-self.max_history :]
-        ld = LoadDynamics(space=self._space, settings=self._settings)
-        self.predictor, _report = ld.fit(h)
-        self.refit_history.append(len(history))
-        if np.isfinite(self.predictor.validation_mape):
-            self._best_val_mape = min(self._best_val_mape, self.predictor.validation_mape)
+        t0 = time.perf_counter()
+        base_seed = self._settings.seed
+        last_error: str | None = None
+        for attempt in range(self.refit_policy.attempts):
+            settings = self._settings
+            if attempt:
+                settings = replace(
+                    settings, seed=self.refit_policy.seed_for(base_seed, attempt)
+                )
+            inj = _faults.active()
+            try:
+                if inj is not None:
+                    inj.maybe_fire("adaptive.refit")
+                ld = LoadDynamics(space=self._space, settings=settings)
+                predictor, _report = ld.fit(h)
+            except _faults.SimulatedCrash:
+                raise
+            except Exception as exc:
+                last_error = f"{type(exc).__name__}: {exc}"
+                logger.warning(
+                    "adaptive refit attempt %d/%d failed: %s",
+                    attempt + 1, self.refit_policy.attempts, last_error,
+                )
+                elapsed = time.perf_counter() - t0
+                if self.refit_deadline_s is not None and elapsed > self.refit_deadline_s:
+                    self._refit_failed("deadline_after_error", elapsed)
+                    return False
+                continue
+            elapsed = time.perf_counter() - t0
+            if (
+                self.refit_deadline_s is not None
+                and elapsed > self.refit_deadline_s
+                and self.predictor is not None
+            ):
+                # The retrain beat nothing: it finished after the serving
+                # budget while an incumbent was available the whole time.
+                self._refit_failed("deadline", elapsed)
+                return False
+            self.predictor = predictor
+            self.refit_history.append(len(history))
+            if np.isfinite(self.predictor.validation_mape):
+                self._best_val_mape = min(
+                    self._best_val_mape, self.predictor.validation_mape
+                )
+            self._recent_errors.clear()
+            self._since_refit = 0
+            return True
+        self._refit_failed(last_error or "unknown", time.perf_counter() - t0)
+        return False
+
+    def _refit_failed(self, reason: str, elapsed_s: float) -> None:
+        """Record a degraded refit: incumbent keeps serving, cool-down applies."""
+        self.failed_refits += 1
         self._recent_errors.clear()
         self._since_refit = 0
+        _metrics.counter("adaptive.refit_failed").inc()
+        logger.error(
+            "adaptive refit failed after %.2fs (%s); serving %s",
+            elapsed_s, reason,
+            "incumbent predictor" if self.predictor is not None
+            else "last-value fallback",
+        )
+        if _events.enabled():
+            _events.emit(
+                "adaptive.refit_failed",
+                reason=reason,
+                elapsed_s=elapsed_s,
+                has_incumbent=self.predictor is not None,
+                n_failed=self.failed_refits,
+            )
 
     def fit(self, history: np.ndarray) -> "AdaptiveLoadDynamics":
         h = np.asarray(history, dtype=np.float64).ravel()
@@ -145,6 +250,7 @@ class AdaptiveLoadDynamics(Predictor):
             # New series: start over.
             self.predictor = None
             self.refit_history.clear()
+            self.failed_refits = 0
             self._recent_errors.clear()
             self._last_pred = None
             self._last_len = -1
@@ -160,7 +266,11 @@ class AdaptiveLoadDynamics(Predictor):
         self._last_len = n
 
         if self.predictor is None:
-            if n >= self._min_series_length():
+            # After a *failed* initial fit the cool-down applies here too —
+            # otherwise a poisoned history would retrain every interval.
+            if n >= self._min_series_length() and (
+                self.failed_refits == 0 or self._since_refit >= self.min_refit_gap
+            ):
                 self._refit(h)
         elif self.drift_detected() and self._since_refit >= self.min_refit_gap:
             self._refit(h)

@@ -159,10 +159,27 @@ class LoadDynamicsPredictor(Predictor):
 
     @classmethod
     def load(cls, directory: str | Path) -> "LoadDynamicsPredictor":
-        from repro.models import get_family
+        """Reload a saved predictor directory.
 
+        Corruption surfaces as ordinary exceptions (JSON/zip/OS/KeyError);
+        serving code that must survive a bad model on disk loads through
+        :meth:`repro.serving.guard.GuardedPredictor.load`, which maps
+        them all to a typed ``CorruptModelError``.  The ``model.load``
+        fault site makes disk corruption injectable for chaos tests.
+        """
+        from repro.models import get_family
+        from repro.resilience import faults as _faults
+
+        inj = _faults.active()
+        if inj is not None:
+            inj.maybe_fire("model.load")
         directory = Path(directory)
         meta = json.loads((directory / "predictor.json").read_text())
+        if not isinstance(meta, dict) or "scaler" not in meta or "hyperparameters" not in meta:
+            raise ValueError(
+                f"predictor.json in {directory} is not a predictor manifest "
+                "(missing scaler/hyperparameters)"
+            )
         # Pre-family directories carry no tag; they were all LSTM.
         family = get_family(meta.get("family", "lstm"))
         model = family.load_model(directory)

@@ -221,11 +221,20 @@ class MetricsRegistry:
         with self._lock:
             return sorted(self._metrics)
 
-    def snapshot(self) -> dict:
-        """Plain-dict snapshot of every metric, sorted by name."""
+    def snapshot(self, prefix: str | None = None) -> dict:
+        """Plain-dict snapshot of every metric, sorted by name.
+
+        ``prefix`` restricts to one dotted namespace (e.g.
+        ``"serving."``) — how subsystem reports pull their own counters
+        out of the shared registry.
+        """
         with self._lock:
             items = sorted(self._metrics.items())
-        return {name: metric.snapshot() for name, metric in items}
+        return {
+            name: metric.snapshot()
+            for name, metric in items
+            if prefix is None or name.startswith(prefix)
+        }
 
     def reset(self) -> None:
         with self._lock:
@@ -265,9 +274,10 @@ def reset_metrics() -> None:
     _registry.reset()
 
 
-def summary() -> dict:
+def summary(prefix: str | None = None) -> dict:
     """Machine-readable report of everything the registry has seen.
 
     The shape benchmarks dump to JSON: ``{"metrics": {name: snapshot}}``.
+    ``prefix`` restricts to one dotted namespace (e.g. ``"serving."``).
     """
-    return {"schema": 1, "metrics": _registry.snapshot()}
+    return {"schema": 1, "metrics": _registry.snapshot(prefix)}

@@ -27,14 +27,27 @@ Fault kinds
     Raise :class:`SimulatedCrash`, a ``BaseException`` that no recovery
     path is allowed to swallow — emulates a SIGKILL for
     checkpoint/resume tests.
+``nan``
+    Non-raising, returned to the caller, which corrupts the value it
+    owns to NaN — planted at ``serve.predict`` it turns a model's
+    forecast non-finite, exercising the
+    :class:`~repro.serving.guard.GuardedPredictor` fallback chain.
+``boom``
+    Raise ``RuntimeError`` at the site — a generic serving-time crash
+    (a predict blowing up at ``serve.predict``, a drift refit dying at
+    ``adaptive.refit``).
+``corrupt``
+    Raise ``OSError`` at the site — emulates unreadable/corrupted model
+    files when planted at ``model.load``.
 
 Spec grammar (``REPRO_FAULTS`` env var or :meth:`FaultInjector.parse`)::
 
     kind@site:at[=arg][,kind@site:at[=arg]...]
 
-where ``site`` is one of ``nn.fit``, ``gp.fit``, ``objective`` and
-``at`` is the 1-based invocation index at that site (``*`` = every
-invocation).  Example: ``kill@objective:4,linalg@gp.fit:*``.
+where ``site`` is one of ``nn.fit``, ``gp.fit``, ``objective``,
+``serve.predict``, ``adaptive.refit``, ``model.load`` and ``at`` is the
+1-based invocation index at that site (``*`` = every invocation).
+Example: ``kill@objective:4,linalg@gp.fit:*``.
 """
 
 from __future__ import annotations
@@ -66,10 +79,18 @@ logger = get_logger("resilience.faults")
 #: Environment variable holding a fault spec list (see module docstring).
 FAULTS_ENV = "REPRO_FAULTS"
 
-FAULT_KINDS = ("nan_loss", "linalg", "slow", "kill")
+FAULT_KINDS = ("nan_loss", "linalg", "slow", "kill", "nan", "boom", "corrupt")
 
 #: Known injection sites (informational; unknown sites simply never fire).
-FAULT_SITES = ("nn.fit", "gp.fit", "objective")
+#: The last three are the serving-time sites added with repro.serving.
+FAULT_SITES = (
+    "nn.fit",
+    "gp.fit",
+    "objective",
+    "serve.predict",
+    "adaptive.refit",
+    "model.load",
+)
 
 
 class SimulatedCrash(BaseException):
@@ -174,6 +195,14 @@ class FaultInjector:
         if "linalg" in fired:
             raise np.linalg.LinAlgError(
                 f"injected LinAlgError at {site} invocation {count}"
+            )
+        if "boom" in fired:
+            raise RuntimeError(
+                f"injected serving crash at {site} invocation {count}"
+            )
+        if "corrupt" in fired:
+            raise OSError(
+                f"injected model-file corruption at {site} invocation {count}"
             )
         if "kill" in fired:
             raise SimulatedCrash(f"injected crash at {site} invocation {count}")

@@ -1,0 +1,277 @@
+"""Trace sanitization: data-quality reports and composable repair policies.
+
+Real arrival traces reach the serving path with export glitches the
+synthetic generators never produce: NaN/inf samples from collector
+restarts, negative counts from resetting counters, flatlined segments
+from a stuck exporter, and spikes that are artifacts rather than load.
+Windowing such a series poisons scaling, training, and — worst — the
+provisioning policy.  :class:`TraceSanitizer` runs ingestion-time
+validation producing a :class:`DataQualityReport` and, when asked,
+repairs the series under one of four policies:
+
+``reject``
+    (default) raise :class:`~repro.traces.loader.TraceValidationError`
+    when any non-finite or negative value is present — strict ingestion;
+``interpolate``
+    replace invalid values by linear interpolation between the nearest
+    valid neighbours (edges clamp to the nearest valid value);
+``ffill``
+    replace invalid values with the last valid value (a leading invalid
+    run takes the first valid value);
+``clip``
+    clamp into the valid range: negatives and ``-inf``/NaN to 0,
+    ``+inf`` to the largest finite value.
+
+Every repair policy guarantees a finite, non-negative output, which
+makes sanitization idempotent: sanitizing a sanitized series is a no-op
+(property-tested in ``tests/test_property_invariants.py``).
+
+Diagnostics that do not invalidate a trace — flatline segments and
+robust-MAD outliers — are *reported*, not repaired, unless
+``repair_outliers=True`` treats outliers as missing values under the
+active policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.obs import events as _events
+from repro.obs import metrics as _metrics
+from repro.traces.loader import TraceValidationError
+
+__all__ = ["REPAIR_POLICIES", "DataQualityReport", "TraceSanitizer"]
+
+#: Accepted ``TraceSanitizer(policy=...)`` values.
+REPAIR_POLICIES = ("reject", "interpolate", "clip", "ffill")
+
+
+def _runs(mask: np.ndarray) -> list[tuple[int, int]]:
+    """Contiguous True-runs of ``mask`` as (start, length) pairs."""
+    if not mask.any():
+        return []
+    padded = np.diff(np.concatenate(([False], mask, [False])).astype(np.int8))
+    starts = np.flatnonzero(padded == 1)
+    ends = np.flatnonzero(padded == -1)
+    return [(int(s), int(e - s)) for s, e in zip(starts, ends)]
+
+
+@dataclass
+class DataQualityReport:
+    """What ingestion found in (and did to) one series."""
+
+    n_samples: int
+    n_nan: int = 0
+    n_inf: int = 0
+    n_negative: int = 0
+    #: Contiguous non-finite runs as (start, length) — collector gaps.
+    gap_spans: list[tuple[int, int]] = field(default_factory=list)
+    #: Constant-value runs of at least ``flat_min_run`` — stuck exporters.
+    flat_segments: list[tuple[int, int]] = field(default_factory=list)
+    #: Indices whose robust (MAD) z-score exceeds the threshold.
+    outlier_indices: tuple[int, ...] = ()
+    #: Repair actions performed, action name -> value count.
+    repairs: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def n_invalid(self) -> int:
+        """Values a repair policy must touch before the series is usable."""
+        return self.n_nan + self.n_inf + self.n_negative
+
+    @property
+    def is_clean(self) -> bool:
+        """True when the series needs no repair (diagnostics may remain)."""
+        return self.n_invalid == 0
+
+    @property
+    def n_repaired(self) -> int:
+        return int(sum(self.repairs.values()))
+
+    def summary(self) -> str:
+        """One-line human-readable digest for logs and the CLI."""
+        parts = [f"{self.n_samples} samples"]
+        if self.n_invalid:
+            parts.append(
+                f"{self.n_nan} NaN / {self.n_inf} inf / {self.n_negative} negative"
+            )
+        if self.gap_spans:
+            parts.append(f"{len(self.gap_spans)} gap span(s)")
+        if self.flat_segments:
+            parts.append(f"{len(self.flat_segments)} flat segment(s)")
+        if self.outlier_indices:
+            parts.append(f"{len(self.outlier_indices)} outlier(s)")
+        if self.repairs:
+            parts.append(
+                "repaired " + ", ".join(f"{k}={v}" for k, v in sorted(self.repairs.items()))
+            )
+        return "; ".join(parts) if len(parts) > 1 else parts[0] + "; clean"
+
+
+class TraceSanitizer:
+    """Composable ingestion validator/repairer for arrival-count series.
+
+    Parameters
+    ----------
+    policy:
+        One of :data:`REPAIR_POLICIES`; ``reject`` raises on invalid
+        values, the others repair them (see module docstring).
+    mad_threshold:
+        Flag samples whose robust z-score ``0.6745*(x-median)/MAD``
+        exceeds this magnitude.  Workloads are bursty, so the default is
+        deliberately loose; it flags artifacts, not peaks.
+    flat_min_run:
+        Minimum length of a constant-value run to report as a flatline.
+    repair_outliers:
+        Treat flagged outliers as missing values under the repair
+        policy (default off: outliers are diagnostics only, which also
+        keeps sanitization idempotent).
+    """
+
+    def __init__(
+        self,
+        policy: str = "reject",
+        mad_threshold: float = 8.0,
+        flat_min_run: int = 16,
+        repair_outliers: bool = False,
+    ):
+        if policy not in REPAIR_POLICIES:
+            raise ValueError(f"policy must be one of {REPAIR_POLICIES}, got {policy!r}")
+        if mad_threshold <= 0:
+            raise ValueError("mad_threshold must be positive")
+        if flat_min_run < 2:
+            raise ValueError("flat_min_run must be >= 2")
+        self.policy = policy
+        self.mad_threshold = float(mad_threshold)
+        self.flat_min_run = int(flat_min_run)
+        self.repair_outliers = bool(repair_outliers)
+
+    # ------------------------------------------------------------------
+    def check(self, series) -> DataQualityReport:
+        """Diagnose ``series`` without modifying it."""
+        s = np.asarray(series, dtype=np.float64).ravel()
+        if s.size == 0:
+            raise TraceValidationError("cannot sanitize an empty series")
+        nan_mask = np.isnan(s)
+        inf_mask = np.isinf(s)
+        nonfinite = nan_mask | inf_mask
+        neg_mask = ~nonfinite & (s < 0)
+
+        # Flatlines: constant runs (over finite values) of >= flat_min_run.
+        flat: list[tuple[int, int]] = []
+        if s.size >= self.flat_min_run:
+            with np.errstate(invalid="ignore"):  # NaN-NaN diffs are not flat
+                same = np.concatenate(([False], (np.diff(s) == 0.0)))
+            for start, length in _runs(same):
+                # `same[i]` marks s[i] == s[i-1]; the run of equal values
+                # includes the anchor element before it.
+                if length + 1 >= self.flat_min_run:
+                    flat.append((start - 1, length + 1))
+
+        # Robust outliers over the valid samples only.
+        outliers: tuple[int, ...] = ()
+        valid = ~nonfinite & ~neg_mask
+        if np.count_nonzero(valid) >= 8:
+            v = s[valid]
+            med = float(np.median(v))
+            mad = float(np.median(np.abs(v - med)))
+            if mad > 0:
+                # Extreme samples overflow the scaled ratio to inf, which
+                # still compares correctly against the threshold.
+                with np.errstate(over="ignore"):
+                    z = 0.6745 * (s[valid] - med) / mad
+                idx = np.flatnonzero(valid)[np.abs(z) > self.mad_threshold]
+                outliers = tuple(int(i) for i in idx)
+
+        return DataQualityReport(
+            n_samples=int(s.size),
+            n_nan=int(np.count_nonzero(nan_mask)),
+            n_inf=int(np.count_nonzero(inf_mask)),
+            n_negative=int(np.count_nonzero(neg_mask)),
+            gap_spans=_runs(nonfinite),
+            flat_segments=flat,
+            outlier_indices=outliers,
+        )
+
+    # ------------------------------------------------------------------
+    def sanitize(self, series) -> tuple[np.ndarray, DataQualityReport]:
+        """Validate-and-repair; returns ``(repaired, report)``.
+
+        Under ``reject`` any invalid value raises
+        :class:`TraceValidationError`; otherwise the returned array is
+        finite and non-negative.  A clean input is returned as an
+        unmodified copy (bit-for-bit), so sanitization is idempotent.
+        """
+        s = np.asarray(series, dtype=np.float64).ravel().copy()
+        report = self.check(s)
+
+        bad = ~np.isfinite(s) | (s < 0)
+        if self.repair_outliers and report.outlier_indices:
+            bad[np.asarray(report.outlier_indices, dtype=np.intp)] = True
+
+        if self.policy == "reject":
+            if bad.any():
+                raise TraceValidationError(
+                    f"trace rejected: {report.summary()}", report=report
+                )
+            self._emit(report)
+            return s, report
+
+        if not bad.any():
+            self._emit(report)
+            return s, report
+        n_bad = int(np.count_nonzero(bad))
+        good_idx = np.flatnonzero(~bad)
+        if good_idx.size == 0:
+            raise TraceValidationError(
+                "trace rejected: no valid samples to repair from", report=report
+            )
+
+        if self.policy == "interpolate":
+            bad_idx = np.flatnonzero(bad)
+            s[bad_idx] = np.interp(bad_idx, good_idx, s[good_idx])
+            report.repairs["interpolated"] = n_bad
+        elif self.policy == "ffill":
+            # Index of the most recent valid sample at each position; a
+            # leading invalid run borrows the first valid value.
+            carry = np.where(~bad, np.arange(s.size), -1)
+            carry = np.maximum.accumulate(carry)
+            carry[carry < 0] = good_idx[0]
+            s = s[carry]
+            report.repairs["filled"] = n_bad
+        else:  # clip
+            upper = float(s[good_idx].max())
+            before = s.copy()
+            s = np.nan_to_num(s, nan=0.0, posinf=upper, neginf=0.0)
+            np.clip(s, 0.0, upper, out=s)
+            # NaN != anything, so the comparison counts NaN repairs too.
+            report.repairs["clipped"] = int(np.count_nonzero(before != s))
+
+        # Every policy must deliver a servable series; anything else is
+        # a bug in the policy, not the data.
+        assert np.all(np.isfinite(s)) and np.all(s >= 0)
+        self._emit(report)
+        return s, report
+
+    def _emit(self, report: DataQualityReport) -> None:
+        if report.n_repaired:
+            _metrics.counter("serving.sanitize.values_repaired").inc(report.n_repaired)
+        if report.n_invalid:
+            _metrics.counter("serving.sanitize.invalid_values").inc(report.n_invalid)
+        if _events.enabled():
+            _events.emit(
+                "sanitize.report",
+                policy=self.policy,
+                n_samples=report.n_samples,
+                n_nan=report.n_nan,
+                n_inf=report.n_inf,
+                n_negative=report.n_negative,
+                n_gaps=len(report.gap_spans),
+                n_flat=len(report.flat_segments),
+                n_outliers=len(report.outlier_indices),
+                n_repaired=report.n_repaired,
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TraceSanitizer(policy={self.policy!r})"

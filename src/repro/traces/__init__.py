@@ -11,9 +11,11 @@ See DESIGN.md §4 for the substitution rationale per trace.
 """
 
 from repro.traces.loader import (
+    TraceValidationError,
     WorkloadConfig,
     WorkloadTrace,
     aggregate,
+    load,
     train_val_test_split,
 )
 from repro.traces.registry import (
@@ -33,9 +35,11 @@ from repro.traces.synthetic import (
 )
 
 __all__ = [
+    "TraceValidationError",
     "WorkloadTrace",
     "WorkloadConfig",
     "aggregate",
+    "load",
     "train_val_test_split",
     "wikipedia_trace",
     "google_trace",

@@ -15,7 +15,28 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["WorkloadTrace", "WorkloadConfig", "aggregate", "train_val_test_split"]
+__all__ = [
+    "TraceValidationError",
+    "WorkloadTrace",
+    "WorkloadConfig",
+    "aggregate",
+    "load",
+    "train_val_test_split",
+]
+
+
+class TraceValidationError(ValueError):
+    """A trace failed ingestion validation (non-finite or negative counts).
+
+    Subclasses :class:`ValueError` so callers that predate the typed
+    error keep working.  ``report`` carries the
+    :class:`repro.serving.sanitize.DataQualityReport` when the failure
+    came out of a sanitizer pass, ``None`` for the inline checks.
+    """
+
+    def __init__(self, message: str, report=None):
+        super().__init__(message)
+        self.report = report
 
 
 @dataclass(frozen=True)
@@ -41,8 +62,14 @@ class WorkloadTrace:
         c = np.asarray(self.counts, dtype=np.float64)
         if c.ndim != 1 or c.size == 0:
             raise ValueError("counts must be a non-empty 1-D array")
+        if not np.all(np.isfinite(c)):
+            bad = int(np.size(c) - np.count_nonzero(np.isfinite(c)))
+            raise TraceValidationError(
+                f"counts must be finite ({bad} NaN/inf values); "
+                "repair with traces.load(..., repair=...) first"
+            )
         if np.any(c < 0):
-            raise ValueError("counts must be non-negative")
+            raise TraceValidationError("counts must be non-negative")
         object.__setattr__(self, "counts", c)
 
     @property
@@ -88,6 +115,47 @@ def aggregate(base_counts: np.ndarray, interval_minutes: int) -> np.ndarray:
             f"trace of {c.size} minutes too short for {interval_minutes}-minute intervals"
         )
     return c[: n_full * interval_minutes].reshape(n_full, interval_minutes).sum(axis=1)
+
+
+def load(
+    counts,
+    *,
+    name: str = "trace",
+    category: str = "unknown",
+    repair: str | None = None,
+    sanitizer=None,
+) -> WorkloadTrace:
+    """Validate raw per-minute arrival counts into a :class:`WorkloadTrace`.
+
+    By default the ingestion is strict: any NaN/inf or negative count
+    raises :class:`TraceValidationError` — real traces arrive with
+    export glitches, and silently windowing them poisons every model
+    downstream.  Pass ``repair`` (``"interpolate"``, ``"clip"`` or
+    ``"ffill"``) to route the series through
+    :class:`repro.serving.sanitize.TraceSanitizer` and ingest the
+    repaired values instead, or hand in a pre-configured ``sanitizer``
+    (which wins over ``repair``).
+    """
+    c = np.asarray(counts, dtype=np.float64).ravel()
+    if c.size == 0:
+        raise TraceValidationError("counts must be a non-empty 1-D array")
+    if repair is not None or sanitizer is not None:
+        # Lazy import: the sanitizer lives in the serving layer, which
+        # itself imports this module for the error type.
+        from repro.serving.sanitize import TraceSanitizer
+
+        san = sanitizer if sanitizer is not None else TraceSanitizer(policy=repair)
+        c, _report = san.sanitize(c)
+    else:
+        n_bad = int(c.size - np.count_nonzero(np.isfinite(c)))
+        n_neg = int(np.count_nonzero(c < 0))
+        if n_bad or n_neg:
+            raise TraceValidationError(
+                f"trace {name!r} has {n_bad} non-finite and {n_neg} negative "
+                "counts; pass repair='interpolate'|'clip'|'ffill' to ingest "
+                "a repaired copy"
+            )
+    return WorkloadTrace(name=name, counts=c, category=category)
 
 
 def train_val_test_split(

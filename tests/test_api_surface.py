@@ -23,6 +23,7 @@ PACKAGES = [
     "repro.autoscale",
     "repro.experiments",
     "repro.obs",
+    "repro.serving",
 ]
 
 MODULES = PACKAGES + [
@@ -51,6 +52,10 @@ MODULES = PACKAGES + [
     "repro.core.adaptive",
     "repro.core.bruteforce",
     "repro.autoscale.cloudsim",
+    "repro.serving.sanitize",
+    "repro.serving.guard",
+    "repro.serving.breaker",
+    "repro.serving.online",
 ]
 
 

@@ -10,13 +10,24 @@ from repro.cli import build_parser, main
 class TestParser:
     def test_all_commands_registered(self):
         parser = build_parser()
-        for cmd in ("list", "fit", "predict", "fig2", "fig5", "fig9", "fig10",
-                    "ablation"):
+        for cmd in ("list", "fit", "predict", "simulate", "fig2", "fig5",
+                    "fig9", "fig10", "ablation"):
             args = parser.parse_args(
-                [cmd] + (["gl-30m"] if cmd == "fit" else
+                [cmd] + (["gl-30m"] if cmd in ("fit", "simulate") else
                          ["d", "gl-30m"] if cmd == "predict" else [])
             )
             assert args.command == cmd
+
+    def test_simulate_options(self):
+        args = build_parser().parse_args(
+            ["simulate", "fb-10m", "--guarded", "--adaptive",
+             "--repair", "interpolate", "--refit-every", "2"]
+        )
+        assert args.guarded and args.adaptive
+        assert args.repair == "interpolate"
+        assert args.refit_every == 2
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "fb-10m", "--repair", "drop"])
 
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):
@@ -53,6 +64,35 @@ class TestCommands:
         assert rc == 0
         out = capsys.readouterr().out
         assert "predicted next JAR" in out
+
+    def test_simulate_guarded(self, capsys):
+        rc = main([
+            "simulate", "fb-10m", "--budget", "tiny",
+            "--max-iters", "2", "--epochs", "3", "--guarded",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "mean turnaround" in out
+        assert "serving.predictions" in out
+
+    def test_simulate_guarded_survives_corrupt_model(self, capsys, tmp_path):
+        save_dir = str(tmp_path / "model")
+        rc = main([
+            "fit", "fb-10m", "--budget", "tiny",
+            "--max-iters", "2", "--epochs", "3", "--save", save_dir,
+        ])
+        assert rc == 0
+        manifest = tmp_path / "model" / "predictor.json"
+        manifest.write_text(manifest.read_text()[:30])
+        capsys.readouterr()
+        rc = main(["simulate", "fb-10m", "--guarded", "--model-dir", save_dir])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "guarded[none]" in out  # degraded to the fallback chain
+
+    def test_simulate_conflicting_flags(self, capsys, tmp_path):
+        rc = main(["simulate", "fb-10m", "--adaptive", "--model-dir", "x"])
+        assert rc == 2
 
     def test_fit_extended_space(self, capsys, tmp_path):
         rc = main([

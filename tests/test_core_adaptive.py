@@ -113,6 +113,91 @@ class TestAdaptive:
             AdaptiveLoadDynamics(min_refit_gap=0)
 
 
+class TestRefitResilience:
+    def _adaptive(self, **overrides):
+        kwargs = dict(
+            space=search_space_for("default", "tiny"),
+            settings=FrameworkSettings.tiny(max_iters=2, epochs=5),
+            drift_window=4,
+            drift_factor=1.5,
+            min_refit_gap=10,
+            refit_retries=0,
+        )
+        kwargs.update(overrides)
+        return AdaptiveLoadDynamics(**kwargs)
+
+    def test_refit_crash_keeps_incumbent(self):
+        from repro import obs
+        from repro.resilience import faults
+
+        adaptive = self._adaptive()
+        series = regime_change_series()
+        sink = obs.add_sink(obs.MemorySink())
+        try:
+            # First fit succeeds; the drift-triggered refit crashes.
+            with faults.injected("boom@adaptive.refit:2"):
+                preds = walk_forward(adaptive, series, 100, 160, refit_every=1)
+        finally:
+            obs.remove_sink(sink)
+        assert adaptive.predictor is not None, "incumbent must keep serving"
+        assert adaptive.failed_refits >= 1
+        assert np.all(np.isfinite(preds))
+        failures = sink.by_name("adaptive.refit_failed")
+        assert failures and failures[0]["has_incumbent"]
+
+    def test_initial_fit_failure_still_serves(self):
+        from repro.resilience import faults
+
+        adaptive = self._adaptive()
+        series = regime_change_series()
+        with faults.injected("boom@adaptive.refit:*"):
+            preds = walk_forward(adaptive, series, 100, 130, refit_every=1)
+        assert adaptive.predictor is None
+        assert adaptive.failed_refits >= 1
+        # Persistence keeps the loop alive without any model.
+        assert np.all(np.isfinite(preds))
+
+    def test_failed_refit_applies_cooldown(self):
+        from repro.resilience import faults
+
+        adaptive = self._adaptive(min_refit_gap=200)
+        series = regime_change_series()
+        with faults.injected("boom@adaptive.refit:*"):
+            walk_forward(adaptive, series, 100, 160, refit_every=1)
+        # Without the cool-down every interval would retry the fit.
+        assert adaptive.failed_refits == 1
+
+    def test_refit_retries_use_fresh_seed(self):
+        from repro.resilience import faults
+
+        adaptive = self._adaptive(refit_retries=1)
+        series = regime_change_series()
+        # Only the very first fit attempt crashes; the in-loop retry
+        # (reseeded) succeeds, so no failure is recorded.
+        with faults.injected("boom@adaptive.refit:1"):
+            walk_forward(adaptive, series, 100, 120, refit_every=1)
+        assert adaptive.predictor is not None
+        assert adaptive.failed_refits == 0
+
+    def test_refit_deadline_keeps_incumbent(self):
+        adaptive = self._adaptive(refit_deadline_s=1e-6)
+        series = regime_change_series()
+        adaptive.fit(series[:100])  # initial fit: no incumbent, deadline waived
+        assert adaptive.predictor is not None
+        incumbent = adaptive.predictor
+        walk_forward(adaptive, series, 100, 160, refit_every=1)
+        # Every post-initial refit blows the microsecond deadline: the
+        # late result is discarded and the incumbent keeps serving.
+        assert adaptive.predictor is incumbent
+        assert adaptive.failed_refits >= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveLoadDynamics(refit_retries=-1)
+        with pytest.raises(ValueError):
+            AdaptiveLoadDynamics(refit_deadline_s=0.0)
+
+
 class TestExtendedSpace:
     def test_extended_space_has_six_dims(self):
         space = search_space_for("gl", "reduced", extended=True)

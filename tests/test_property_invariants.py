@@ -119,6 +119,78 @@ class TestSimulatorInvariants:
         )
 
 
+class TestServingInvariants:
+    # Series that may carry every kind of ingestion damage.
+    dirty_series = arrays(
+        np.float64,
+        st.integers(4, 60),
+        elements=st.one_of(
+            st.floats(-1e6, 1e6),
+            st.sampled_from((np.nan, np.inf, -np.inf)),
+        ),
+    )
+
+    @given(series=dirty_series, policy=st.sampled_from(("interpolate", "clip", "ffill")))
+    @settings(max_examples=60, deadline=None)
+    def test_sanitize_is_idempotent(self, series, policy):
+        """sanitize(sanitize(x)) == sanitize(x), and the output is servable."""
+        from repro.serving import TraceSanitizer
+        from repro.traces import TraceValidationError
+
+        san = TraceSanitizer(policy=policy)
+        try:
+            once, report1 = san.sanitize(series)
+        except TraceValidationError:
+            # No valid sample to repair from — rejection is the contract.
+            assert not np.any(np.isfinite(series) & (series >= 0))
+            return
+        assert np.all(np.isfinite(once)) and np.all(once >= 0)
+        twice, report2 = san.sanitize(once)
+        np.testing.assert_array_equal(once, twice)
+        assert report2.n_repaired == 0
+
+    @given(
+        series=jar_series,
+        value=st.floats(allow_nan=True, allow_infinity=True),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_guarded_outputs_always_servable(self, series, value):
+        """Whatever the primary emits, the guard serves finite and >= 0."""
+        from repro.serving import GuardedPredictor
+
+        guarded = GuardedPredictor(_ConstantPredictor(value))
+        p = guarded.predict_next(series)
+        assert np.isfinite(p)
+        assert p >= 0.0
+        assert p <= guarded.guard_factor * series.max() + 1e-9
+
+    @given(outcomes=st.lists(st.booleans(), min_size=1, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_breaker_state_machine_invariants(self, outcomes):
+        """Under any outcome sequence the breaker stays in a legal state
+        and every transition is one of the machine's edges."""
+        from repro.serving import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+        legal_edges = {
+            (CLOSED, OPEN),
+            (OPEN, HALF_OPEN),
+            (HALF_OPEN, CLOSED),
+            (HALF_OPEN, OPEN),
+        }
+        breaker = CircuitBreaker(min_calls=3, window=6, cooldown=4, probes=2)
+        for failed in outcomes:
+            if not breaker.allow():
+                continue
+            if failed:
+                breaker.record_failure()
+            else:
+                breaker.record_success()
+            assert breaker.state in (CLOSED, OPEN, HALF_OPEN)
+            assert 0.0 <= breaker.failure_rate <= 1.0
+        for frm, to, _reason in breaker.transitions:
+            assert (frm, to) in legal_edges
+
+
 class TestLSTMInvariants:
     @given(
         batch=st.integers(1, 4),

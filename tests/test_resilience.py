@@ -42,7 +42,7 @@ class TestFaultInjector:
         assert FaultSpec.parse("kill@nn.fit:*").at is None
 
     @pytest.mark.parametrize(
-        "text", ["boom@objective:1", "kill@objective", "kill@objective:0",
+        "text", ["explode@objective:1", "kill@objective", "kill@objective:0",
                  "kill@objective:x", "kill@objective:1=z"]
     )
     def test_parse_rejects_bad_specs(self, text):

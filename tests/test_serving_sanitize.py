@@ -1,0 +1,137 @@
+"""Trace sanitization: quality reports, repair policies, strict ingestion."""
+
+import numpy as np
+import pytest
+
+from repro.serving import REPAIR_POLICIES, TraceSanitizer
+from repro.traces import TraceValidationError, load
+
+
+def dirty_series():
+    s = np.array([10.0, 12.0, np.nan, 16.0, -3.0, np.inf, 14.0, 11.0, 13.0, 12.0])
+    return s
+
+
+class TestCheck:
+    def test_counts_invalid_kinds(self):
+        report = TraceSanitizer().check(dirty_series())
+        assert report.n_samples == 10
+        assert report.n_nan == 1
+        assert report.n_inf == 1
+        assert report.n_negative == 1
+        assert report.n_invalid == 3
+        assert not report.is_clean
+
+    def test_gap_spans_are_nonfinite_runs(self):
+        s = np.ones(20)
+        s[3:6] = np.nan
+        s[10] = np.inf
+        report = TraceSanitizer().check(s)
+        assert report.gap_spans == [(3, 3), (10, 1)]
+
+    def test_flat_segments(self):
+        s = np.sin(np.arange(64.0)) + 2.0
+        s[20:40] = 5.0
+        report = TraceSanitizer(flat_min_run=16).check(s)
+        assert len(report.flat_segments) == 1
+        start, length = report.flat_segments[0]
+        assert start == 20 and length == 20
+
+    def test_mad_outliers_flagged_not_repaired(self):
+        s = np.ones(64) + 0.01 * np.sin(np.arange(64.0))
+        s[30] = 1e6
+        report = TraceSanitizer(mad_threshold=8.0).check(s)
+        assert 30 in report.outlier_indices
+
+    def test_clean_series_is_clean(self):
+        report = TraceSanitizer().check(np.arange(1.0, 50.0))
+        assert report.is_clean
+        assert report.summary().endswith("clean")
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(TraceValidationError):
+            TraceSanitizer().check(np.array([]))
+
+
+class TestRepairPolicies:
+    def test_reject_is_default_and_raises(self):
+        with pytest.raises(TraceValidationError) as exc:
+            TraceSanitizer().sanitize(dirty_series())
+        assert exc.value.report is not None
+        assert exc.value.report.n_invalid == 3
+
+    def test_interpolate_uses_neighbours(self):
+        s = np.array([10.0, np.nan, 20.0])
+        repaired, report = TraceSanitizer(policy="interpolate").sanitize(s)
+        assert repaired[1] == pytest.approx(15.0)
+        assert report.repairs == {"interpolated": 1}
+
+    def test_ffill_carries_last_valid(self):
+        s = np.array([np.nan, 10.0, np.nan, np.nan, 30.0])
+        repaired, _ = TraceSanitizer(policy="ffill").sanitize(s)
+        # Leading gap borrows the first valid value.
+        assert repaired.tolist() == [10.0, 10.0, 10.0, 10.0, 30.0]
+
+    def test_clip_bounds_into_valid_range(self):
+        s = np.array([5.0, -2.0, np.inf, np.nan, 8.0])
+        repaired, report = TraceSanitizer(policy="clip").sanitize(s)
+        assert repaired.tolist() == [5.0, 0.0, 8.0, 0.0, 8.0]
+        assert report.repairs == {"clipped": 3}
+
+    @pytest.mark.parametrize("policy", [p for p in REPAIR_POLICIES if p != "reject"])
+    def test_every_policy_outputs_servable_values(self, policy):
+        repaired, _ = TraceSanitizer(policy=policy).sanitize(dirty_series())
+        assert np.all(np.isfinite(repaired))
+        assert np.all(repaired >= 0)
+
+    @pytest.mark.parametrize("policy", REPAIR_POLICIES)
+    def test_clean_input_returned_bit_for_bit(self, policy):
+        s = np.abs(np.sin(np.arange(50.0))) * 100
+        repaired, report = TraceSanitizer(policy=policy).sanitize(s)
+        assert report.is_clean and report.n_repaired == 0
+        np.testing.assert_array_equal(repaired, s)
+
+    def test_all_invalid_cannot_be_repaired(self):
+        with pytest.raises(TraceValidationError):
+            TraceSanitizer(policy="interpolate").sanitize(np.full(5, np.nan))
+
+    def test_repair_outliers_opt_in(self):
+        s = np.ones(64) + 0.01 * np.sin(np.arange(64.0))
+        s[30] = 1e6
+        repaired, report = TraceSanitizer(
+            policy="interpolate", repair_outliers=True
+        ).sanitize(s)
+        assert repaired[30] < 10.0
+        assert report.repairs["interpolated"] == 1
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            TraceSanitizer(policy="drop")
+
+
+class TestLoaderIntegration:
+    def test_load_is_strict_by_default(self):
+        with pytest.raises(TraceValidationError):
+            load(dirty_series())
+
+    def test_load_with_repair_ingests(self):
+        trace = load(dirty_series(), name="dirty", repair="interpolate")
+        assert np.all(np.isfinite(trace.counts))
+        assert np.all(trace.counts >= 0)
+
+    def test_load_with_preconfigured_sanitizer(self):
+        san = TraceSanitizer(policy="clip")
+        trace = load(dirty_series(), sanitizer=san)
+        assert np.all(np.isfinite(trace.counts))
+
+    def test_workload_trace_constructor_rejects_nan(self):
+        from repro.traces import WorkloadTrace
+
+        with pytest.raises(TraceValidationError):
+            WorkloadTrace(name="bad", counts=np.array([1.0, np.nan]), category="test")
+
+    def test_workload_trace_constructor_rejects_negative(self):
+        from repro.traces import WorkloadTrace
+
+        with pytest.raises(TraceValidationError):
+            WorkloadTrace(name="bad", counts=np.array([1.0, -1.0]), category="test")
