@@ -1,0 +1,176 @@
+"""Serving-stream throughput and monitoring overhead.
+
+Drives ~1M synthetic intervals through the full online pipeline —
+sanitize → guard → monitor → simulate — and answers the two questions
+the monitoring PR must not regress:
+
+1. **Streaming capacity** (``test_stream_throughput``): how many
+   intervals/second the monitored serving path sustains end to end,
+   including trace sanitization, the guarded fallback chain, per-interval
+   quality/drift/SLO scoring, and the cloud simulator replay.  Uses a
+   persistence primary so the number measures the *pipeline*, not model
+   inference.  The regime shift planted in the trace must latch the
+   drift detectors — a throughput run that outruns its own monitoring
+   would be meaningless.
+2. **Monitor overhead** (``test_monitor_overhead``): the wall-clock cost
+   of attaching a :class:`~repro.obs.monitor.monitor.ForecastMonitor`
+   to a realistically-priced deployment (a trained LoadDynamics
+   predictor behind the guard), measured as monitored vs unmonitored
+   ``serve_and_simulate`` over the same trace.  Budget: **<= 10%**
+   (asserted in full mode; quick mode only validates the harness).
+
+Every measurement is recorded under ``bench.serving.*`` and dumped to
+``BENCH_serving.json`` — the artifact future serving/monitoring PRs
+diff against.  Set ``REPRO_BENCH_QUICK=1`` for the CI smoke run (small
+interval counts, tiny fit).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core import FrameworkSettings, LoadDynamics, search_space_for
+from repro.obs import metrics as _metrics
+from repro.obs.monitor import ForecastMonitor, SLOTracker
+from repro.serving import GuardedPredictor, TraceSanitizer, serve_and_simulate
+from repro.baselines.naive import LastValuePredictor
+
+# Redirectable so smoke runs don't clobber the committed perf trajectory.
+ARTIFACT = Path(
+    os.environ.get(
+        "REPRO_BENCH_ARTIFACT_DIR", Path(__file__).resolve().parent.parent
+    )
+) / "BENCH_serving.json"
+
+#: Quick mode: enough intervals to exercise every pipeline stage and
+#: validate the artifact schema, nowhere near enough for stable rates.
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+N_STREAM = 20_000 if QUICK else 1_000_000
+N_OVERHEAD = 12_000 if QUICK else 200_000
+#: Prefix the deployed predictor trains on in the overhead test.
+FIT_PREFIX = 2_000
+
+
+def _synthetic_trace(n: int, *, seed: int, shift_frac: float = 0.6) -> np.ndarray:
+    """A noisy daily cycle with a planted regime shift and NaN gaps.
+
+    The level shift at ``shift_frac`` is what the drift detectors must
+    catch; the NaN gaps give the sanitizer real work so the measured
+    pipeline includes stage one.
+    """
+    rng = np.random.default_rng(seed)
+    x = np.arange(n, dtype=np.float64)
+    trace = np.abs(np.sin(x / 288.0)) * 400.0 + 100.0 + rng.normal(0.0, 5.0, n)
+    trace[int(n * shift_frac):] *= 3.0
+    gaps = rng.choice(n, size=max(n // 500, 1), replace=False)
+    trace[gaps] = np.nan
+    return trace
+
+
+@pytest.fixture(scope="module", autouse=True)
+def bench_artifact():
+    """Write the ``bench.serving.*`` metrics to BENCH_serving.json."""
+    yield
+    report = obs.summary()
+    metrics = {
+        name: snap
+        for name, snap in report["metrics"].items()
+        if name.startswith("bench.serving.")
+    }
+    if not metrics:
+        return
+    ARTIFACT.write_text(
+        json.dumps({"schema": report["schema"], "metrics": metrics}, indent=2)
+        + "\n",
+        encoding="utf-8",
+    )
+
+
+def _serve(trace: np.ndarray, start: int, predictor, monitor):
+    """One timed pass of the guard→monitor→simulate pipeline."""
+    guarded = GuardedPredictor(predictor)
+    t0 = time.perf_counter()
+    report = serve_and_simulate(
+        guarded, trace, start, refit_every=10**9, monitor=monitor
+    )
+    return time.perf_counter() - t0, report
+
+
+def test_stream_throughput():
+    """~1M intervals through sanitize→guard→monitor→simulate."""
+    raw = _synthetic_trace(N_STREAM, seed=7)
+    start = min(2_000, N_STREAM // 10)
+
+    t0 = time.perf_counter()
+    trace, san_report = TraceSanitizer(policy="interpolate").sanitize(raw)
+    sanitize_s = time.perf_counter() - t0
+    assert san_report.n_repaired > 0, "the planted NaN gaps must be repaired"
+
+    monitor = ForecastMonitor(
+        slo=SLOTracker(latency_slo_ms=5.0, accuracy_slo_mape=50.0)
+    )
+    serve_s, report = _serve(trace, start, LastValuePredictor(), monitor)
+
+    n_served = N_STREAM - start
+    total_s = sanitize_s + serve_s
+    ips = n_served / total_s
+    obs.gauge("bench.serving.stream_intervals").set(float(n_served))
+    obs.gauge("bench.serving.stream_intervals_per_s").set(ips)
+    obs.gauge("bench.serving.sanitize_s").set(sanitize_s)
+
+    # Per-prediction latency percentiles from the monitor's own histogram
+    # — the same numbers `repro metrics` exposes in production.
+    lat = _metrics.histogram("monitor.latency_ms").snapshot()
+    obs.gauge("bench.serving.predict_p50_ms").set(lat["p50"])
+    obs.gauge("bench.serving.predict_p99_ms").set(lat["p99"])
+
+    assert report.drifted, "the planted regime shift must latch a detector"
+    assert report.health is not None and report.health["status"] != "healthy"
+    print(f"\n[serving-stream] {n_served:,} intervals in {total_s:.1f}s "
+          f"= {ips:,.0f} intervals/s "
+          f"(predict p50 {lat['p50']:.4f} ms, p99 {lat['p99']:.4f} ms)")
+
+
+def test_monitor_overhead():
+    """Monitoring a deployed model must cost <= 10% end to end."""
+    raw = _synthetic_trace(N_OVERHEAD, seed=11)
+    trace, _ = TraceSanitizer(policy="interpolate").sanitize(raw)
+    start = FIT_PREFIX
+
+    ld = LoadDynamics(
+        space=search_space_for("default", "tiny"),
+        settings=FrameworkSettings.tiny(max_iters=2, epochs=4),
+    )
+    primary, _ = ld.fit(trace[:start])
+
+    base_s, base_report = _serve(trace, start, primary, None)
+    monitor = ForecastMonitor(
+        slo=SLOTracker(latency_slo_ms=5.0, accuracy_slo_mape=50.0)
+    )
+    mon_s, mon_report = _serve(trace, start, primary, monitor)
+
+    # The monitored walk must not change what is served: the schedule is
+    # the same bit-for-bit (the monitor only *observes* the stream).
+    assert np.array_equal(base_report.schedule, mon_report.schedule)
+    assert mon_report.drifted, "a frozen model must drift across the shift"
+
+    n_served = N_OVERHEAD - start
+    overhead_pct = 100.0 * (mon_s - base_s) / base_s
+    obs.gauge("bench.serving.baseline_intervals_per_s").set(n_served / base_s)
+    obs.gauge("bench.serving.monitored_intervals_per_s").set(n_served / mon_s)
+    obs.gauge("bench.serving.monitor_overhead_pct").set(overhead_pct)
+    print(f"\n[serving-stream] monitor overhead: {overhead_pct:+.1f}% "
+          f"({base_s:.1f}s -> {mon_s:.1f}s over {n_served:,} intervals)")
+    if not QUICK:
+        # Quick mode runs too few intervals for the ratio to be signal.
+        assert overhead_pct <= 10.0, (
+            f"monitoring cost {overhead_pct:.1f}% of the serving path "
+            "(budget: 10%)"
+        )

@@ -14,6 +14,10 @@ call time, not just import time):
 
 * substrate packages must not import ``repro.core``, ``repro.models``,
   ``repro.cli``, or ``repro.experiments`` — they are leaf libraries;
+* ``repro.obs`` (including ``repro.obs.monitor``) sits below everything
+  that feeds it telemetry: serving/core/models/cli/experiments are all
+  off limits — monitors consume observations, they never reach back
+  into the layers that produce them;
 * ``repro.models`` and ``repro.serving`` must not import ``repro.cli``
   or ``repro.experiments`` — they are library code, not entry points.
 
@@ -35,6 +39,13 @@ _FORBIDDEN: dict[str, tuple[str, ...]] = {
     "gp": ("repro.core", "repro.models", "repro.cli", "repro.experiments"),
     "models": ("repro.cli", "repro.experiments"),
     "serving": ("repro.cli", "repro.experiments"),
+    "obs": (
+        "repro.core",
+        "repro.models",
+        "repro.serving",
+        "repro.cli",
+        "repro.experiments",
+    ),
 }
 
 

@@ -31,7 +31,8 @@ PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro.cli fit gl-30m \
 
 echo "== serving chaos (guarded simulate must survive injected faults) =="
 SERVE_DIR="$(mktemp -d)"
-trap 'rm -rf "$SERVE_DIR"' EXIT
+BENCH_DIR="$(mktemp -d)"
+trap 'rm -rf "$SERVE_DIR" "$BENCH_DIR"' EXIT
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro.cli fit fb-10m \
     --budget tiny --max-iters 2 --epochs 3 --save "$SERVE_DIR/model"
 REPRO_FAULTS="nan@serve.predict:*" \
@@ -40,3 +41,31 @@ REPRO_FAULTS="nan@serve.predict:*" \
 REPRO_FAULTS="corrupt@model.load:1" \
     PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro.cli simulate \
     fb-10m --guarded --model-dir "$SERVE_DIR/model"
+
+echo "== monitoring smoke (injected serving drift must fire detectors + refit) =="
+MON_OUT="$(REPRO_FAULTS='drift@serve.predict:60=4' \
+    PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro.cli simulate \
+    gl-30m --adaptive --monitor --slo-mape 60 \
+    --budget tiny --max-iters 2 --epochs 3)"
+printf '%s\n' "$MON_OUT"
+grep -q "FIRED" <<<"$MON_OUT" \
+    || { echo "monitoring smoke FAILED: no drift detector fired"; exit 1; }
+grep -qE "drift-triggered refits: [1-9]" <<<"$MON_OUT" \
+    || { echo "monitoring smoke FAILED: no drift-triggered refit"; exit 1; }
+
+echo "== serving-stream bench (quick) =="
+REPRO_BENCH_QUICK=1 REPRO_BENCH_ARTIFACT_DIR="$BENCH_DIR" \
+    PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -x -q \
+    benchmarks/bench_serving_stream.py
+python - "$BENCH_DIR/BENCH_serving.json" <<'PYEOF'
+import json, math, sys
+metrics = json.load(open(sys.argv[1]))["metrics"]
+for gauge in ("bench.serving.stream_intervals_per_s",
+              "bench.serving.monitor_overhead_pct",
+              "bench.serving.predict_p50_ms",
+              "bench.serving.predict_p99_ms"):
+    snap = metrics.get(gauge)
+    assert snap and snap["kind"] == "gauge" and math.isfinite(snap["value"]), \
+        f"BENCH_serving.json: bad gauge {gauge}: {snap}"
+print("BENCH_serving.json schema OK")
+PYEOF

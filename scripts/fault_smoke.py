@@ -16,6 +16,9 @@ behaviour:
 * ``nan@serve.predict`` / ``boom@serve.predict`` — guarded serving sheds
   the sick model to the fallback chain (and trips the breaker);
 * ``boom@adaptive.refit`` — a crashing refit keeps the incumbent model;
+* ``drift@serve.predict`` — a latched level shift in the served forecast
+  must fire the ``repro.obs.monitor`` drift detectors within a bounded
+  delay and degrade the health verdict;
 * ``corrupt@model.load`` + real truncation — loading surfaces a typed
   ``CorruptModelError`` or degrades to the fallback chain.
 
@@ -173,6 +176,34 @@ def smoke_refit_crash(series) -> None:
     assert adaptive.failed_refits >= 1, "the failed refit must be recorded"
 
 
+def smoke_drift_detection(series) -> None:
+    """An injected serving-side drift must latch the monitor's detectors."""
+    from repro.baselines import LastValuePredictor
+    from repro.obs.monitor import ForecastMonitor
+    from repro.serving import GuardedPredictor, serve_and_simulate
+
+    monitor = ForecastMonitor()
+    guarded = GuardedPredictor(LastValuePredictor())
+    # Calibration needs a stationary pre-fault error stream: a slow
+    # cycle + mild noise keeps persistence APE at a steady ~2%, so the
+    # only regime change the detectors can see is the injected one.
+    rng = np.random.default_rng(42)
+    x = np.arange(240.0)
+    steady = np.abs(np.sin(x / 288.0)) * 400 + 300 + rng.normal(0, 5, 240)
+    # The served forecast shifts x4 from invocation 60 onward while the
+    # actuals stay put — exactly the silent failure mode the detectors
+    # exist to catch.
+    with faults.injected("drift@serve.predict:60=4"):
+        report = serve_and_simulate(guarded, steady, 120, monitor=monitor)
+    assert report.drifted, "injected drift must latch a detector"
+    fired = [d for d in report.drift if d["drifted"]]
+    assert any(
+        d["fired_at"] is not None and 60 <= d["fired_at"] <= 100 for d in fired
+    ), f"detectors must fire within a bounded delay of the shift: {fired}"
+    assert report.health["status"] != "healthy", \
+        "a latched drift detector must degrade the health verdict"
+
+
 def smoke_corrupt_model(series) -> None:
     """Corrupted predictor directories raise typed errors / degrade cleanly."""
     from repro.core import LSTMHyperparameters, LoadDynamicsPredictor, MinMaxScaler
@@ -221,6 +252,7 @@ SCENARIOS = (
     smoke_serving_nan_prediction,
     smoke_serving_breaker,
     smoke_refit_crash,
+    smoke_drift_detection,
     smoke_corrupt_model,
 )
 

@@ -8,7 +8,11 @@ Commands map 1:1 to the experiment runners and the core workflow:
   predictor;
 * ``predict`` — load a saved predictor and forecast the next interval;
 * ``simulate`` — serve a predictor online through the auto-scaling case
-  study, optionally ``--guarded`` (sanitization, fallbacks, breaker);
+  study, optionally ``--guarded`` (sanitization, fallbacks, breaker)
+  and/or ``--monitor`` (rolling accuracy, drift detection, SLO health;
+  ``--metrics-out`` dumps the metrics registry to JSON);
+* ``metrics`` — render a ``--metrics-out`` snapshot as Prometheus text
+  or stable JSON;
 * ``fig2`` / ``fig5`` / ``fig9`` / ``table4`` / ``fig10`` / ``ablation``
   — regenerate the paper artifacts at a chosen budget.
 
@@ -106,6 +110,30 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--start-frac", type=float, default=0.8,
                      help="serve the last (1 - START_FRAC) of the trace (default 0.8)")
     sim.add_argument("--refit-every", type=int, default=1)
+    sim.add_argument("--monitor", action="store_true",
+                     help="attach online forecast-quality monitoring (rolling "
+                          "accuracy, CUSUM + Page-Hinkley drift detection) and "
+                          "print the quality/drift/health report")
+    sim.add_argument("--slo-latency-ms", type=float, default=None, metavar="MS",
+                     help="per-prediction latency objective in milliseconds "
+                          "(implies --monitor; tracked with an error budget)")
+    sim.add_argument("--slo-mape", type=float, default=None, metavar="PCT",
+                     help="per-interval accuracy objective: absolute percentage "
+                          "error must stay below PCT (implies --monitor)")
+    sim.add_argument("--metrics-out", metavar="PATH.json", default=None,
+                     help="write the full metrics-registry snapshot to this "
+                          "JSON file after the run (implies --monitor)")
+
+    met = sub.add_parser(
+        "metrics",
+        help="render a metrics snapshot written by --metrics-out",
+    )
+    met.add_argument("snapshot", help="JSON file written by `repro simulate --metrics-out`")
+    met.add_argument("--format", default="prometheus", choices=("prometheus", "json"),
+                     help="output format (default: prometheus text exposition)")
+    met.add_argument("--prefix", default=None, metavar="NS",
+                     help="restrict to one dotted registry namespace, "
+                          "e.g. monitor. (matched before name sanitization)")
 
     for name, help_text in (
         ("fig2", "prior-predictor motivation (Fig. 2)"),
@@ -243,6 +271,24 @@ def _cmd_simulate(args) -> int:
               file=sys.stderr)
         return 2
 
+    want_monitor = (
+        args.monitor
+        or args.slo_latency_ms is not None
+        or args.slo_mape is not None
+        or args.metrics_out is not None
+    )
+    monitor = None
+    if want_monitor:
+        from repro.obs.monitor import ForecastMonitor, SLOTracker
+
+        slo = None
+        if args.slo_latency_ms is not None or args.slo_mape is not None:
+            slo = SLOTracker(
+                latency_slo_ms=args.slo_latency_ms,
+                accuracy_slo_mape=args.slo_mape,
+            )
+        monitor = ForecastMonitor(slo=slo)
+
     cfg = get_configuration(args.config)
     series = cfg.load()
     if args.repair:
@@ -260,7 +306,14 @@ def _cmd_simulate(args) -> int:
     fallbacks = default_fallbacks(daily_period(cfg.interval_minutes))
 
     if args.adaptive:
-        predictor = AdaptiveLoadDynamics(space=space, settings=settings)
+        # Share the monitor's first detector (CUSUM) with the adaptive
+        # loop so serving-side drift — including injected
+        # ``drift@serve.predict`` faults, which only shift the *served*
+        # forecast — triggers refits, not just the internal error rule.
+        refit_on_drift = monitor.detectors[0] if monitor is not None else None
+        predictor = AdaptiveLoadDynamics(
+            space=space, settings=settings, refit_on_drift=refit_on_drift
+        )
     elif args.model_dir:
         if args.guarded:
             # The guarded load shields against a corrupted directory by
@@ -280,7 +333,7 @@ def _cmd_simulate(args) -> int:
         predictor = GuardedPredictor(predictor, fallbacks=fallbacks)
 
     report = serve_and_simulate(
-        predictor, series, start, refit_every=args.refit_every
+        predictor, series, start, refit_every=args.refit_every, monitor=monitor
     )
     res = report.result
     print(f"workload          : {args.config} "
@@ -299,6 +352,52 @@ def _cmd_simulate(args) -> int:
             print(f"  {name:32s} {value:g}")
     for frm, to, reason in report.breaker_transitions:
         print(f"breaker           : {frm} -> {to} ({reason})")
+    if monitor is not None:
+        window = (report.quality or {}).get("window", {})
+        if window.get("mape") is not None:
+            print(f"rolling MAPE      : {window['mape']:.2f}% "
+                  f"(bias {window['bias']:+.1f}, window {window['size']})")
+        for d in report.drift or []:
+            state = "FIRED" if d["drifted"] else "quiet"
+            at = f" at interval {d['fired_at']}" if d.get("fired_at") else ""
+            print(f"drift [{d['name']:13s}]: {state}{at} "
+                  f"(statistic {d['statistic']:.2f})")
+        inner = predictor.primary if isinstance(predictor, GuardedPredictor) else predictor
+        drift_refits = getattr(inner, "drift_refits", None)
+        if drift_refits is not None:
+            print(f"drift-triggered refits: {drift_refits}")
+        if report.slo is not None:
+            for key, obj in sorted(report.slo.get("objectives", {}).items()):
+                print(f"SLO [{key:9s}]    : {obj['violations']}/{obj['n']} "
+                      f"violations, budget consumed {obj['budget_consumed']:.2f}, "
+                      f"burn rate {obj['burn_rate']:.2f}")
+        health = report.health or {}
+        reasons = "; ".join(health.get("reasons", [])) or "all objectives met"
+        print(f"health            : {health.get('status', 'unknown')} ({reasons})")
+    if args.metrics_out:
+        from repro.obs.monitor import write_snapshot
+
+        path = write_snapshot(args.metrics_out)
+        print(f"metrics snapshot  : {path}")
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    import json
+
+    from repro.obs.monitor import load_snapshot, render_prometheus
+
+    try:
+        metrics = load_snapshot(args.snapshot)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read metrics snapshot: {exc}", file=sys.stderr)
+        return 2
+    if args.prefix:
+        metrics = {k: v for k, v in metrics.items() if k.startswith(args.prefix)}
+    if args.format == "json":
+        print(json.dumps({"schema": 1, "metrics": metrics}, indent=2, sort_keys=True))
+    else:
+        print(render_prometheus(metrics), end="")
     return 0
 
 
@@ -378,6 +477,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_predict(args)
         if args.command == "simulate":
             return _cmd_simulate(args)
+        if args.command == "metrics":
+            return _cmd_metrics(args)
         return _cmd_figures(args)
     finally:
         if trace_sink is not None:

@@ -19,6 +19,16 @@ module implements that variant:
 The re-optimization is synchronous and uses the same budget as the
 initial fit, so pick reduced/tiny settings for online use.
 
+Drift-detector integration: pass ``refit_on_drift=`` a
+:class:`~repro.obs.monitor.drift.DriftDetector` (CUSUM, Page-Hinkley)
+and the detector *replaces* the built-in threshold rule — each scored
+interval's percentage error feeds the detector, and a latched
+``drifted`` flag (whether raised by this predictor's own errors or by
+an external :class:`~repro.obs.monitor.monitor.ForecastMonitor` sharing
+the instance) triggers the refit.  The refit resets the detector so it
+recalibrates on post-refit errors.  With ``refit_on_drift=None`` (the
+default) the original rolling-window rule runs unchanged.
+
 Serving hardening: a refit is an expensive, failure-prone training run
 executed *inside* the serving loop, so it must never take serving down.
 Each refit runs through a :class:`~repro.resilience.retry.RetryPolicy`
@@ -82,6 +92,11 @@ class AdaptiveLoadDynamics(Predictor):
         Wall-clock budget for one drift refit (all attempts); a refit
         finishing past it is discarded in favour of the incumbent.
         ``None`` disables the deadline.
+    refit_on_drift:
+        A drift detector (anything matching
+        :class:`repro.obs.monitor.drift.DriftDetector`) that replaces
+        the rolling-window rule: scored errors feed it, its latched
+        ``drifted`` flag triggers the refit, and the refit resets it.
     """
 
     name = "adaptive-loaddynamics"
@@ -99,6 +114,7 @@ class AdaptiveLoadDynamics(Predictor):
         max_history: int | None = 600,
         refit_retries: int = 1,
         refit_deadline_s: float | None = None,
+        refit_on_drift=None,
     ):
         if drift_window < 2:
             raise ValueError("drift_window must be >= 2")
@@ -117,10 +133,12 @@ class AdaptiveLoadDynamics(Predictor):
         self.max_history = max_history
         self.refit_policy = RetryPolicy(max_retries=int(refit_retries))
         self.refit_deadline_s = refit_deadline_s
+        self.refit_on_drift = refit_on_drift
 
         self.predictor: LoadDynamicsPredictor | None = None
         self.refit_history: list[int] = []  # history lengths at each (re)fit
         self.failed_refits = 0  # refits that kept the incumbent predictor
+        self.drift_refits = 0  # refit attempts triggered by drift detection
         self._recent_errors: deque[float] = deque(maxlen=self.drift_window)
         self._last_pred: float | None = None
         self._last_len = -1
@@ -155,7 +173,14 @@ class AdaptiveLoadDynamics(Predictor):
         return max(val, self.error_floor)
 
     def drift_detected(self) -> bool:
-        """True when the rolling error window signals a pattern change."""
+        """True when the error stream signals a pattern change.
+
+        With a ``refit_on_drift`` detector installed, its latched flag
+        is the signal; otherwise the original rolling-window threshold
+        rule applies.
+        """
+        if self.refit_on_drift is not None:
+            return bool(self.refit_on_drift.drifted)
         if len(self._recent_errors) < self.drift_window:
             return False
         return float(np.mean(self._recent_errors)) > self.drift_factor * self._reference_error()
@@ -218,6 +243,8 @@ class AdaptiveLoadDynamics(Predictor):
                 )
             self._recent_errors.clear()
             self._since_refit = 0
+            if self.refit_on_drift is not None:
+                self.refit_on_drift.reset()
             return True
         self._refit_failed(last_error or "unknown", time.perf_counter() - t0)
         return False
@@ -227,6 +254,8 @@ class AdaptiveLoadDynamics(Predictor):
         self.failed_refits += 1
         self._recent_errors.clear()
         self._since_refit = 0
+        if self.refit_on_drift is not None:
+            self.refit_on_drift.reset()
         _metrics.counter("adaptive.refit_failed").inc()
         logger.error(
             "adaptive refit failed after %.2fs (%s); serving %s",
@@ -251,17 +280,23 @@ class AdaptiveLoadDynamics(Predictor):
             self.predictor = None
             self.refit_history.clear()
             self.failed_refits = 0
+            self.drift_refits = 0
             self._recent_errors.clear()
             self._last_pred = None
             self._last_len = -1
             self._since_refit = 0
             self._best_val_mape = np.inf
+            if self.refit_on_drift is not None:
+                self.refit_on_drift.reset()
 
         # Score the cached forecast against every newly revealed value.
         if self.predictor is not None and self._last_pred is not None and n > self._last_len >= 0:
             actual = float(h[self._last_len])
             denom = max(abs(actual), 1e-9)
-            self._recent_errors.append(100.0 * abs(self._last_pred - actual) / denom)
+            err = 100.0 * abs(self._last_pred - actual) / denom
+            self._recent_errors.append(err)
+            if self.refit_on_drift is not None:
+                self.refit_on_drift.update(err)
         self._since_refit += max(n - max(self._last_len, 0), 0)
         self._last_len = n
 
@@ -273,6 +308,17 @@ class AdaptiveLoadDynamics(Predictor):
             ):
                 self._refit(h)
         elif self.drift_detected() and self._since_refit >= self.min_refit_gap:
+            self.drift_refits += 1
+            _metrics.counter("adaptive.drift_refit").inc()
+            if _events.enabled():
+                _events.emit(
+                    "adaptive.drift_refit",
+                    history_len=n,
+                    detector=(
+                        getattr(self.refit_on_drift, "name", None)
+                        if self.refit_on_drift is not None else "window_rule"
+                    ),
+                )
             self._refit(h)
 
         self._last_pred = (

@@ -150,6 +150,13 @@ class Histogram:
                 "min": None if empty else self.min,
                 "max": None if empty else self.max,
                 "mean": None if empty else self.total / self.count,
+                # Percentile provenance: once round-robin decimation has
+                # kicked in, the reservoir reflects a recent window of
+                # the stream, not its full history — consumers (the
+                # Prometheus exposition, benchmark artifacts) need to
+                # know which one they are quoting.
+                "reservoir_size": len(self._samples),
+                "reservoir_wrapped": self.count > self.max_samples,
             }
         if not empty:
             base.update(

@@ -1,0 +1,79 @@
+"""``repro.obs.monitor`` — online forecast-quality monitoring.
+
+PR 1's ``repro.obs`` gave the system *code-level* observability (what
+ran, how long it took); this package adds *model-level* observability —
+is the deployed forecaster still any good, and should the serving path
+do something about it:
+
+==============================  ========================================
+``repro.obs.monitor.quality``    rolling + cumulative accuracy trackers
+``repro.obs.monitor.drift``      CUSUM / Page-Hinkley concept-drift
+``repro.obs.monitor.slo``        SLO objectives, error budgets, health
+``repro.obs.monitor.exposition`` Prometheus text + stable JSON dumps
+``repro.obs.monitor.monitor``    ForecastMonitor composing the above
+==============================  ========================================
+
+Quick use::
+
+    from repro.obs.monitor import ForecastMonitor, SLOTracker
+    from repro.serving import serve_and_simulate
+
+    monitor = ForecastMonitor(slo=SLOTracker(latency_slo_ms=5.0,
+                                             accuracy_slo_mape=50.0))
+    report = serve_and_simulate(predictor, trace, start, monitor=monitor)
+    report.health      # {"status": "healthy" | "degraded" | "breached", ...}
+
+The package sits *below* ``repro.serving``/``repro.cli`` in the import
+DAG (enforced by ``scripts/check_layering.py``): serving feeds it
+observations, it never reaches back into serving.
+"""
+
+from repro.obs.monitor.drift import (
+    CusumDetector,
+    DriftDetector,
+    DriftDetectorBase,
+    PageHinkleyDetector,
+)
+from repro.obs.monitor.exposition import (
+    flatten_snapshot,
+    load_snapshot,
+    parse_prometheus,
+    render_prometheus,
+    sanitize_metric_name,
+    write_snapshot,
+)
+from repro.obs.monitor.monitor import ForecastMonitor, default_detectors
+from repro.obs.monitor.quality import QualityTracker
+from repro.obs.monitor.slo import (
+    BREACHED,
+    DEGRADED,
+    HEALTHY,
+    HealthReport,
+    SLOTracker,
+)
+
+__all__ = [
+    # quality
+    "QualityTracker",
+    # drift
+    "DriftDetector",
+    "DriftDetectorBase",
+    "CusumDetector",
+    "PageHinkleyDetector",
+    # slo
+    "HEALTHY",
+    "DEGRADED",
+    "BREACHED",
+    "HealthReport",
+    "SLOTracker",
+    # exposition
+    "sanitize_metric_name",
+    "flatten_snapshot",
+    "render_prometheus",
+    "parse_prometheus",
+    "write_snapshot",
+    "load_snapshot",
+    # monitor
+    "ForecastMonitor",
+    "default_detectors",
+]

@@ -1,0 +1,232 @@
+"""Metrics exposition: Prometheus text format + stable JSON snapshots.
+
+Everything the instrumented subsystems record lands in the
+:class:`~repro.obs.metrics.MetricsRegistry`; this module turns a
+registry snapshot into the two formats operators actually consume:
+
+* :func:`render_prometheus` — the Prometheus text exposition format.
+  Counters and gauges render as single samples; histograms/timers
+  render as a ``summary``: ``{quantile="0.5"|"0.9"|"0.99"}`` sample per
+  reservoir percentile plus exact ``_count``/``_sum``, with
+  ``_min``/``_max``/``_mean`` and the reservoir provenance
+  (``_reservoir_size``, ``_reservoir_wrapped``) as companion gauges.
+  Dotted registry names are sanitized to the Prometheus charset
+  deterministically; a sanitization collision raises rather than
+  silently merging two metrics.
+* :func:`write_snapshot` / :func:`load_snapshot` — a stable
+  (sorted-keys) JSON dump of the same snapshot, the machine-checkable
+  artifact behind ``repro simulate --metrics-out`` and the
+  ``repro metrics`` renderer.
+
+:func:`parse_prometheus` inverts the renderer into the same flat
+``(name, labels) -> value`` mapping :func:`flatten_snapshot` produces,
+which is what the round-trip property test pins: *rendered text parses
+back to exactly the names and values that went in*.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+from repro.obs import metrics as _metrics
+
+__all__ = [
+    "sanitize_metric_name",
+    "flatten_snapshot",
+    "render_prometheus",
+    "parse_prometheus",
+    "write_snapshot",
+    "load_snapshot",
+]
+
+#: Flat sample key: (metric name, sorted (label, value) pairs).
+SampleKey = tuple[str, tuple[tuple[str, str], ...]]
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_SAMPLE_LINE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{([^}]*)\})?\s+(\S+)$"
+)
+_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="([^"]*)"')
+
+#: Snapshot percentile key -> Prometheus quantile label value.
+_QUANTILES = (("p50", "0.5"), ("p90", "0.9"), ("p99", "0.99"))
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Map a dotted registry name onto the Prometheus metric charset.
+
+    Deterministic and total: invalid characters become ``_`` and a
+    leading digit is prefixed.  Distinct registry names *can* collide
+    after sanitization (``a.b`` vs ``a_b``); the renderer detects that
+    and raises instead of merging.
+    """
+    out = _INVALID_CHARS.sub("_", str(name))
+    if not out or out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def _format_value(value: float) -> str:
+    """Exact float formatting: ``repr`` round-trips IEEE doubles."""
+    return repr(float(value))
+
+
+class _FlatSeries:
+    """Ordered (name, labels) -> value map that rejects duplicates."""
+
+    def __init__(self):
+        self.samples: dict[SampleKey, float] = {}
+
+    def add(self, name: str, labels: tuple[tuple[str, str], ...], value) -> None:
+        key = (name, labels)
+        if key in self.samples:
+            raise ValueError(
+                f"metric name collision after sanitization: {name!r} "
+                f"{dict(labels)!r} produced twice"
+            )
+        self.samples[key] = float(value)
+
+
+def _flatten_one(series: _FlatSeries, base: str, snap: dict) -> None:
+    kind = snap.get("kind")
+    if kind in ("counter", "gauge"):
+        series.add(base, (), snap["value"])
+        return
+    # histogram / timer
+    series.add(base + "_count", (), snap["count"])
+    series.add(base + "_sum", (), snap["sum"])
+    if snap["count"]:
+        for stat in ("min", "max", "mean"):
+            if snap.get(stat) is not None:
+                series.add(f"{base}_{stat}", (), snap[stat])
+        for pkey, q in _QUANTILES:
+            if snap.get(pkey) is not None:
+                series.add(base, (("quantile", q),), snap[pkey])
+    if "reservoir_size" in snap:
+        series.add(base + "_reservoir_size", (), snap["reservoir_size"])
+        series.add(base + "_reservoir_wrapped", (),
+                   1.0 if snap.get("reservoir_wrapped") else 0.0)
+
+
+def flatten_snapshot(metrics: dict) -> dict[SampleKey, float]:
+    """Flatten a ``{name: snapshot}`` registry dump to exposition samples.
+
+    This is the reference shape :func:`parse_prometheus` recovers from
+    rendered text — the round-trip invariant.
+    """
+    series = _FlatSeries()
+    for raw_name in sorted(metrics):
+        _flatten_one(series, sanitize_metric_name(raw_name), metrics[raw_name])
+    return series.samples
+
+
+def render_prometheus(metrics: dict | None = None, *, prefix: str | None = None) -> str:
+    """Render a registry snapshot to Prometheus text format.
+
+    ``metrics`` is a ``{name: snapshot}`` mapping (default: a fresh
+    snapshot of the global registry, optionally ``prefix``-filtered).
+    """
+    if metrics is None:
+        metrics = _metrics.get_registry().snapshot(prefix)
+    lines: list[str] = []
+    seen = _FlatSeries()  # collision detection across the whole page
+    for raw_name in sorted(metrics):
+        snap = metrics[raw_name]
+        base = sanitize_metric_name(raw_name)
+        kind = snap.get("kind")
+        if kind in ("counter", "gauge"):
+            seen.add(base, (), snap["value"])
+            lines.append(f"# TYPE {base} {kind}")
+            lines.append(f"{base} {_format_value(snap['value'])}")
+            continue
+        # histogram / timer -> summary + companion gauges
+        lines.append(f"# TYPE {base} summary")
+        if snap["count"]:
+            for pkey, q in _QUANTILES:
+                if snap.get(pkey) is not None:
+                    seen.add(base, (("quantile", q),), snap[pkey])
+                    lines.append(
+                        f'{base}{{quantile="{q}"}} {_format_value(snap[pkey])}'
+                    )
+        seen.add(base + "_sum", (), snap["sum"])
+        lines.append(f"{base}_sum {_format_value(snap['sum'])}")
+        seen.add(base + "_count", (), snap["count"])
+        lines.append(f"{base}_count {_format_value(snap['count'])}")
+        if snap["count"]:
+            for stat in ("min", "max", "mean"):
+                if snap.get(stat) is not None:
+                    seen.add(f"{base}_{stat}", (), snap[stat])
+                    lines.append(f"# TYPE {base}_{stat} gauge")
+                    lines.append(f"{base}_{stat} {_format_value(snap[stat])}")
+        if "reservoir_size" in snap:
+            seen.add(base + "_reservoir_size", (), snap["reservoir_size"])
+            seen.add(base + "_reservoir_wrapped", (),
+                     1.0 if snap.get("reservoir_wrapped") else 0.0)
+            lines.append(f"# TYPE {base}_reservoir_size gauge")
+            lines.append(
+                f"{base}_reservoir_size {_format_value(snap['reservoir_size'])}"
+            )
+            lines.append(f"# TYPE {base}_reservoir_wrapped gauge")
+            wrapped = 1.0 if snap.get("reservoir_wrapped") else 0.0
+            lines.append(f"{base}_reservoir_wrapped {_format_value(wrapped)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_prometheus(text: str) -> dict[SampleKey, float]:
+    """Parse exposition text back into the flat sample mapping.
+
+    Inverse of :func:`render_prometheus` over its output (comment and
+    blank lines are skipped; malformed sample lines raise).
+    """
+    samples: dict[SampleKey, float] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        m = _SAMPLE_LINE.match(line)
+        if m is None:
+            raise ValueError(f"unparseable exposition line {lineno}: {line!r}")
+        name, label_text, value = m.groups()
+        labels: tuple[tuple[str, str], ...] = ()
+        if label_text:
+            labels = tuple(
+                (k, v) for k, v in _LABEL.findall(label_text)
+            )
+        samples[(name, labels)] = float(value)
+    return samples
+
+
+def write_snapshot(
+    path: str | Path,
+    *,
+    metrics: dict | None = None,
+    prefix: str | None = None,
+) -> Path:
+    """Dump a registry snapshot as stable JSON; returns the path written.
+
+    The shape matches :func:`repro.obs.metrics.summary` —
+    ``{"schema": 1, "metrics": {name: snapshot}}`` with sorted keys —
+    so chaos runs and benchmarks are machine-checkable with one loader.
+    """
+    if metrics is None:
+        metrics = _metrics.get_registry().snapshot(prefix)
+    out = Path(path)
+    out.write_text(
+        json.dumps({"schema": 1, "metrics": metrics}, indent=2, sort_keys=True)
+        + "\n",
+        encoding="utf-8",
+    )
+    return out
+
+
+def load_snapshot(path: str | Path) -> dict:
+    """Read back a :func:`write_snapshot` file; returns the metrics dict."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or "metrics" not in data:
+        raise ValueError(f"{path}: not a metrics snapshot (missing 'metrics')")
+    metrics = data["metrics"]
+    if not isinstance(metrics, dict):
+        raise ValueError(f"{path}: 'metrics' must be an object")
+    return metrics

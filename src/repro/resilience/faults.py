@@ -39,6 +39,15 @@ Fault kinds
 ``corrupt``
     Raise ``OSError`` at the site — emulates unreadable/corrupted model
     files when planted at ``model.load``.
+``drift``
+    Non-raising, returned to the caller, which applies a deterministic
+    level shift to the value it owns — planted at ``serve.predict`` the
+    :class:`~repro.serving.guard.GuardedPredictor` scales every primary
+    forecast by ``arg`` (default 2.0) from the firing invocation
+    *onward* (a drift, once it happens, persists), emulating the served
+    trace jumping to a regime the model has not learned.  This is how
+    the drift detectors in :mod:`repro.obs.monitor` are exercised under
+    ``REPRO_FAULTS``.
 
 Spec grammar (``REPRO_FAULTS`` env var or :meth:`FaultInjector.parse`)::
 
@@ -79,7 +88,7 @@ logger = get_logger("resilience.faults")
 #: Environment variable holding a fault spec list (see module docstring).
 FAULTS_ENV = "REPRO_FAULTS"
 
-FAULT_KINDS = ("nan_loss", "linalg", "slow", "kill", "nan", "boom", "corrupt")
+FAULT_KINDS = ("nan_loss", "linalg", "slow", "kill", "nan", "boom", "corrupt", "drift")
 
 #: Known injection sites (informational; unknown sites simply never fire).
 #: The last three are the serving-time sites added with repro.serving.

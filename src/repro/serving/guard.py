@@ -117,6 +117,11 @@ class GuardedPredictor(Predictor):
         self.min_history = getattr(primary, "min_history", 1) if primary else 1
         #: Serve counts per stage: "primary", each fallback's name, "zero".
         self.served_by: dict[str, int] = {}
+        #: Latched ``drift@serve.predict`` level shift: once the fault
+        #: fires, every later primary forecast is scaled by this factor
+        #: (a drift, once it happens, persists — that is what the drift
+        #: detectors downstream must catch).
+        self._drift_shift: float | None = None
 
         # Hot-path metric handles resolved once, not per prediction.
         self._c_total = _metrics.counter("serving.predictions")
@@ -174,6 +179,11 @@ class GuardedPredictor(Predictor):
             raw = self.primary.predict_next(h)
             if "nan" in fired:
                 raw = float("nan")
+            if "drift" in fired:
+                spec = fired["drift"]
+                self._drift_shift = spec.arg if spec.arg is not None else 2.0
+            if self._drift_shift is not None:
+                raw = float(raw) * self._drift_shift
         except _faults.SimulatedCrash:
             raise
         except Exception as exc:

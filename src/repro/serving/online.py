@@ -9,11 +9,22 @@ telemetry (fallback counters, breaker transitions) is collected into a
 and the CI serving-chaos stage exercise end to end: with faults planted
 at every serving site the loop must complete the full trace and the
 autoscaler must never receive a non-finite or negative forecast.
+
+Model-level observability hooks in here too: pass a
+:class:`~repro.obs.monitor.monitor.ForecastMonitor` as ``monitor=`` and
+every interval's forecast is scored the moment its actual is revealed —
+rolling accuracy, drift detection, and SLO/error-budget accounting ride
+along in one pass, and the resulting quality/drift/SLO/health sections
+land on the :class:`ServingReport`.  With ``monitor=None`` (the
+default) the pre-monitoring code path runs unchanged, so un-monitored
+serving output stays bit-for-bit identical.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -21,6 +32,9 @@ from repro.autoscale import CloudSimulator, SimulationResult, VMSpec, provisioni
 from repro.baselines.base import Predictor
 from repro.obs import metrics as _metrics
 from repro.serving.guard import GuardedPredictor
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.monitor.monitor import ForecastMonitor
 
 __all__ = ["ServingReport", "daily_period", "serve_and_simulate"]
 
@@ -48,11 +62,63 @@ class ServingReport:
     breaker_transitions: list[tuple[str, str, str]] = field(default_factory=list)
     #: Per-stage serve counts, when the predictor was guarded.
     served_by: dict[str, int] = field(default_factory=dict)
+    #: Rolling/cumulative accuracy section, when a monitor was attached.
+    quality: dict | None = None
+    #: Per-detector drift state, when a monitor was attached.
+    drift: list[dict] | None = None
+    #: SLO/error-budget section, when the monitor carried an SLOTracker.
+    slo: dict | None = None
+    #: Folded health verdict (status + reasons), when monitored.
+    health: dict | None = None
 
     @property
     def n_fallback_serves(self) -> int:
         """Predictions served by any stage other than the primary model."""
         return sum(n for stage, n in self.served_by.items() if stage != "primary")
+
+    @property
+    def drifted(self) -> bool:
+        """True when any attached drift detector latched during the run."""
+        return bool(self.drift) and any(d.get("drifted") for d in self.drift)
+
+
+def _monitored_walk(
+    predictor: Predictor,
+    series: np.ndarray,
+    start: int,
+    refit_every: int,
+    monitor: "ForecastMonitor",
+) -> np.ndarray:
+    """Walk-forward with per-interval scoring and latency timing.
+
+    Produces exactly the predictions
+    :func:`repro.baselines.base.walk_forward` would (same fit cadence,
+    same persistence rescue, same non-negativity clip — regression-tested
+    against it), additionally timing each ``predict_next`` and feeding
+    the monitor the (forecast, revealed actual, latency) triple.
+    """
+    n = series.size
+    if not 0 < start <= n:
+        raise ValueError(f"invalid start {start} for series of length {n}")
+    if refit_every < 1:
+        raise ValueError("refit_every must be >= 1")
+    perf_counter = time.perf_counter
+    preds = np.empty(n - start)
+    for j, i in enumerate(range(start, n)):
+        history = series[:i]
+        if j % refit_every == 0:
+            predictor.fit(history)
+        t0 = perf_counter()
+        p = predictor.predict_next(history)
+        latency = perf_counter() - t0
+        if not np.isfinite(p):
+            # Persistence rescue, identical to walk_forward's.
+            last = float(history[-1])
+            p = last if np.isfinite(last) else 0.0
+        p = max(p, 0.0)
+        preds[j] = p
+        monitor.observe(p, float(series[i]), latency_s=latency)
+    return preds
 
 
 def serve_and_simulate(
@@ -63,6 +129,7 @@ def serve_and_simulate(
     spec: VMSpec | None = None,
     refit_every: int = 1,
     seed: int = 0,
+    monitor: "ForecastMonitor | None" = None,
 ) -> ServingReport:
     """Walk ``predictor`` over ``arrivals[start:]`` and simulate the result.
 
@@ -70,9 +137,23 @@ def serve_and_simulate(
     lookahead); the schedule it produces is validated finite before the
     simulator replays it — with a :class:`GuardedPredictor` in front
     this holds even under injected serving faults.
+
+    ``monitor`` attaches online forecast-quality monitoring: each
+    interval is scored as it is revealed and the report gains
+    quality/drift/SLO/health sections.  Unmonitored runs take the
+    original code path untouched.
     """
     a = np.asarray(arrivals, dtype=np.float64).ravel()
-    schedule = provisioning_schedule(predictor, a, start, refit_every=refit_every)
+    if monitor is None:
+        schedule = provisioning_schedule(predictor, a, start, refit_every=refit_every)
+    else:
+        preds = _monitored_walk(predictor, a, start, refit_every, monitor)
+        if not np.all(np.isfinite(preds)):
+            raise ValueError(
+                f"predictor {predictor.name!r} produced non-finite forecasts; "
+                "wrap it in repro.serving.GuardedPredictor for online use"
+            )
+        schedule = np.ceil(np.maximum(preds, 0.0))
     result = CloudSimulator(spec=spec, seed=seed).run(a[start:], schedule)
 
     counters = {
@@ -85,10 +166,17 @@ def serve_and_simulate(
     if isinstance(predictor, GuardedPredictor):
         transitions = list(predictor.breaker.transitions)
         served_by = dict(predictor.served_by)
-    return ServingReport(
+    report = ServingReport(
         result=result,
         schedule=schedule,
         serving_counters=counters,
         breaker_transitions=transitions,
         served_by=served_by,
     )
+    if monitor is not None:
+        sections = monitor.report()
+        report.quality = sections["quality"]
+        report.drift = sections["drift"]
+        report.slo = sections["slo"]
+        report.health = sections["health"]
+    return report

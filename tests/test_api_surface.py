@@ -23,6 +23,7 @@ PACKAGES = [
     "repro.autoscale",
     "repro.experiments",
     "repro.obs",
+    "repro.obs.monitor",
     "repro.serving",
 ]
 
@@ -32,6 +33,11 @@ MODULES = PACKAGES + [
     "repro.obs.tracing",
     "repro.obs.callbacks",
     "repro.obs.logging",
+    "repro.obs.monitor.quality",
+    "repro.obs.monitor.drift",
+    "repro.obs.monitor.slo",
+    "repro.obs.monitor.exposition",
+    "repro.obs.monitor.monitor",
     "repro.metrics",
     "repro.parallel",
     "repro.cli",

@@ -29,6 +29,28 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["simulate", "fb-10m", "--repair", "drop"])
 
+    def test_simulate_monitor_options(self):
+        args = build_parser().parse_args(
+            ["simulate", "fb-10m", "--monitor", "--slo-latency-ms", "5",
+             "--slo-mape", "25", "--metrics-out", "snap.json"]
+        )
+        assert args.monitor
+        assert args.slo_latency_ms == 5.0
+        assert args.slo_mape == 25.0
+        assert args.metrics_out == "snap.json"
+
+    def test_metrics_command_registered(self):
+        args = build_parser().parse_args(
+            ["metrics", "snap.json", "--format", "json", "--prefix", "monitor."]
+        )
+        assert args.command == "metrics"
+        assert args.snapshot == "snap.json"
+        assert args.format == "json"
+        assert args.prefix == "monitor."
+        assert build_parser().parse_args(["metrics", "x"]).format == "prometheus"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["metrics", "x", "--format", "xml"])
+
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
@@ -93,6 +115,41 @@ class TestCommands:
     def test_simulate_conflicting_flags(self, capsys, tmp_path):
         rc = main(["simulate", "fb-10m", "--adaptive", "--model-dir", "x"])
         assert rc == 2
+
+    def test_simulate_monitored_and_metrics_render(self, capsys, tmp_path):
+        snap = str(tmp_path / "snap.json")
+        rc = main([
+            "simulate", "fb-10m", "--budget", "tiny",
+            "--max-iters", "2", "--epochs", "3",
+            "--slo-mape", "60", "--metrics-out", snap,
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "rolling MAPE" in out
+        assert "drift [cusum" in out
+        assert "SLO [accuracy" in out
+        assert "health" in out
+        assert snap in out
+
+        rc = main(["metrics", snap])
+        assert rc == 0
+        prom = capsys.readouterr().out
+        assert "# TYPE monitor_intervals counter" in prom
+        assert "monitor_latency_ms_count" in prom
+
+        rc = main(["metrics", snap, "--format", "json", "--prefix", "monitor."])
+        assert rc == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        metrics = payload["metrics"]
+        assert metrics and all(k.startswith("monitor.") for k in metrics)
+
+    def test_metrics_bad_snapshot_errors(self, capsys, tmp_path):
+        assert main(["metrics", str(tmp_path / "missing.json")]) == 2
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"no_metrics": true}')
+        assert main(["metrics", str(bad)]) == 2
 
     def test_fit_extended_space(self, capsys, tmp_path):
         rc = main([

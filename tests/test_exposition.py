@@ -1,0 +1,164 @@
+"""Tests for the metrics exposition layer (Prometheus text + JSON)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.obs.monitor import (
+    flatten_snapshot,
+    load_snapshot,
+    parse_prometheus,
+    render_prometheus,
+    sanitize_metric_name,
+    write_snapshot,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_metrics():
+    obs.reset_metrics()
+    yield
+    obs.reset_metrics()
+
+
+# Metric names stay distinct after sanitization as long as we draw from
+# word characters and join with dots (no "a.b" vs "a_b" collisions).
+metric_word = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789", min_size=1, max_size=8
+)
+metric_name = st.builds(
+    lambda parts: ".".join(parts), st.lists(metric_word, min_size=1, max_size=3)
+)
+finite = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=-1e12, max_value=1e12
+)
+
+
+@st.composite
+def registry_snapshots(draw):
+    """Build a registry dump by driving real metric objects."""
+    obs.reset_metrics()
+    names = draw(st.lists(metric_name, min_size=1, max_size=6, unique=True))
+    for i, name in enumerate(names):
+        kind = draw(st.sampled_from(["counter", "gauge", "histogram"]))
+        # Distinct kinds need distinct names in one registry.
+        full = f"{kind[0]}{i}.{name}"
+        if kind == "counter":
+            obs.counter(full).inc(abs(draw(finite)))
+        elif kind == "gauge":
+            obs.gauge(full).set(draw(finite))
+        else:
+            h = obs.histogram(full)
+            for v in draw(st.lists(finite, min_size=0, max_size=8)):
+                h.observe(v)
+    return obs.summary()["metrics"]
+
+
+class TestPrometheusRoundTrip:
+    @given(metrics=registry_snapshots())
+    @settings(max_examples=50, deadline=None)
+    def test_render_parse_recovers_every_sample(self, metrics):
+        """Rendered text parses back to exactly the flattened samples."""
+        text = render_prometheus(metrics)
+        assert parse_prometheus(text) == flatten_snapshot(metrics)
+
+    def test_counter_and_gauge_render(self):
+        obs.counter("serve.hits").inc(3)
+        obs.gauge("serve.level").set(-2.5)
+        text = render_prometheus()
+        assert "# TYPE serve_hits counter" in text
+        assert "serve_hits 3.0" in text
+        assert "serve_level -2.5" in text
+
+    def test_histogram_renders_summary_with_quantiles(self):
+        h = obs.histogram("lat.ms")
+        h.observe_many(float(i) for i in range(100))
+        text = render_prometheus()
+        assert "# TYPE lat_ms summary" in text
+        assert 'lat_ms{quantile="0.5"}' in text
+        assert 'lat_ms{quantile="0.99"}' in text
+        assert "lat_ms_count 100.0" in text
+        assert "lat_ms_sum 4950.0" in text
+        assert "lat_ms_reservoir_wrapped 0.0" in text
+
+    def test_empty_histogram_renders_count_only(self):
+        obs.histogram("lat.ms")
+        samples = parse_prometheus(render_prometheus())
+        assert samples[("lat_ms_count", ())] == 0.0
+        assert ("lat_ms", (("quantile", "0.5"),)) not in samples
+
+    def test_prefix_filter(self):
+        obs.counter("a.x").inc()
+        obs.counter("b.y").inc()
+        text = render_prometheus(prefix="a.")
+        assert "a_x" in text and "b_y" not in text
+
+    def test_exact_float_round_trip(self):
+        value = 0.1 + 0.2  # classically unrepresentable as short decimal
+        obs.gauge("g.v").set(value)
+        samples = parse_prometheus(render_prometheus())
+        assert samples[("g_v", ())] == value  # bit-exact
+
+    def test_sanitization_collision_raises(self):
+        metrics = {
+            "a.b": {"kind": "counter", "value": 1.0},
+            "a_b": {"kind": "counter", "value": 2.0},
+        }
+        with pytest.raises(ValueError, match="collision"):
+            render_prometheus(metrics)
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(ValueError, match="line 2"):
+            parse_prometheus("ok_metric 1.0\n{{{nonsense\n")
+
+
+class TestSanitizeName:
+    @given(name=st.text(min_size=1, max_size=40))
+    @settings(max_examples=100, deadline=None)
+    def test_output_always_valid(self, name):
+        out = sanitize_metric_name(name)
+        assert out
+        assert not out[0].isdigit()
+        assert all(c.isalnum() or c in "_:" for c in out)
+
+    def test_deterministic_examples(self):
+        assert sanitize_metric_name("serving.fault.nonfinite") == \
+            "serving_fault_nonfinite"
+        assert sanitize_metric_name("9lives") == "_9lives"
+
+
+class TestJsonSnapshots:
+    def test_write_load_round_trip(self, tmp_path):
+        obs.counter("x.hits").inc(7)
+        obs.histogram("x.lat").observe(1.5)
+        path = write_snapshot(tmp_path / "snap.json")
+        assert load_snapshot(path) == obs.summary()["metrics"]
+
+    def test_output_is_stable(self, tmp_path):
+        obs.gauge("b.g").set(1.0)
+        obs.counter("a.c").inc()
+        first = write_snapshot(tmp_path / "one.json").read_text()
+        second = write_snapshot(tmp_path / "two.json").read_text()
+        assert first == second
+        assert json.loads(first)["schema"] == 1
+
+    def test_prefix_filtered_snapshot(self, tmp_path):
+        obs.counter("keep.c").inc()
+        obs.counter("drop.c").inc()
+        path = write_snapshot(tmp_path / "snap.json", prefix="keep.")
+        assert set(load_snapshot(path)) == {"keep.c"}
+
+    def test_load_rejects_non_snapshot(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"nope": 1}')
+        with pytest.raises(ValueError, match="metrics"):
+            load_snapshot(bad)
+        worse = tmp_path / "worse.json"
+        worse.write_text('{"metrics": [1, 2]}')
+        with pytest.raises(ValueError, match="object"):
+            load_snapshot(worse)

@@ -140,6 +140,78 @@ class TestMetrics:
             t.join()
         assert c.value == 8000
 
+    def test_registry_concurrency_storm(self):
+        """Mixed inc/observe/registration from many threads: exact totals.
+
+        Every thread hammers a shared counter, a shared histogram, and a
+        per-thread counter it registers itself — exercising the registry
+        lock (get-or-create) and each metric's own lock together.
+        """
+        n_threads, n_ops = 8, 500
+        shared_c = obs.counter("storm.shared")
+        shared_h = obs.histogram("storm.lat")
+        barrier = threading.Barrier(n_threads)
+
+        def work(tid: int):
+            barrier.wait()  # maximize interleaving
+            mine = obs.counter(f"storm.thread.{tid}")
+            for i in range(n_ops):
+                shared_c.inc()
+                shared_h.observe(float(i))
+                mine.inc(2.0)
+
+        threads = [
+            threading.Thread(target=work, args=(t,)) for t in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert shared_c.value == n_threads * n_ops
+        assert shared_h.count == n_threads * n_ops
+        assert shared_h.total == n_threads * sum(range(n_ops))
+        assert shared_h.min == 0.0 and shared_h.max == float(n_ops - 1)
+        snap = obs.get_registry().snapshot("storm.thread.")
+        assert len(snap) == n_threads
+        assert all(s["value"] == 2.0 * n_ops for s in snap.values())
+
+    def test_prefix_filtered_snapshot_and_summary(self):
+        obs.counter("serving.hits").inc()
+        obs.counter("serving_hits_lookalike").inc()   # no dot: prefix excludes
+        obs.gauge("serve.level").set(1.0)             # sibling namespace
+        obs.histogram("serving.lat").observe(2.0)
+
+        snap = obs.get_registry().snapshot("serving.")
+        assert set(snap) == {"serving.hits", "serving.lat"}
+
+        report = obs.summary("serving.")
+        assert report["schema"] == 1
+        assert set(report["metrics"]) == {"serving.hits", "serving.lat"}
+        # Unmatched prefix yields an empty mapping, not an error.
+        assert obs.get_registry().snapshot("nothing.") == {}
+        assert obs.summary("nothing.")["metrics"] == {}
+        # No prefix means everything.
+        assert len(obs.get_registry().snapshot()) == 4
+
+    def test_histogram_snapshot_reservoir_provenance(self):
+        h = obs.Histogram(max_samples=8)
+        h.observe_many(float(v) for v in range(5))
+        snap = h.snapshot()
+        assert snap["reservoir_size"] == 5
+        assert snap["reservoir_wrapped"] is False
+
+        h.observe_many(float(v) for v in range(5, 100))
+        snap = h.snapshot()
+        assert snap["count"] == 100        # exact stream stats survive
+        assert snap["reservoir_size"] == 8  # reservoir stays bounded
+        assert snap["reservoir_wrapped"] is True
+
+        empty = obs.Histogram().snapshot()
+        assert empty["count"] == 0 and empty["reservoir_size"] == 0
+        assert empty["reservoir_wrapped"] is False
+        assert empty["min"] is None and "p50" not in empty
+
 
 # ----------------------------------------------------------------------
 # tracing
