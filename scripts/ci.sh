@@ -53,6 +53,27 @@ grep -q "FIRED" <<<"$MON_OUT" \
 grep -qE "drift-triggered refits: [1-9]" <<<"$MON_OUT" \
     || { echo "monitoring smoke FAILED: no drift-triggered refit"; exit 1; }
 
+echo "== autoscale-chaos (hybrid must survive faults + flash crowds) =="
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro.cli autoscale --quick
+REPRO_BENCH_QUICK=1 REPRO_BENCH_ARTIFACT_DIR="$BENCH_DIR" \
+    PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -x -q \
+    benchmarks/bench_autoscale_chaos.py
+python - "$BENCH_DIR/BENCH_autoscale.json" <<'PYEOF'
+import json, math, sys
+cells = json.load(open(sys.argv[1]))["scenarios"]
+for scenario in ("steady", "flash_crowd", "regime_shift", "corruption",
+                 "nan_flash", "drift_fault"):
+    for policy in ("predictive", "reactive", "hybrid"):
+        row = cells[scenario]["policies"][policy]
+        assert math.isfinite(row["underprovision_rate_pct"]), (scenario, policy)
+row = cells["nan_flash"]["policies"]["hybrid"]
+assert row["underprovision_rate_pct"] <= 15.0, \
+    f"hybrid under injected nan + flash crowd: {row['underprovision_rate_pct']:.2f}% underprovision"
+assert row["controller"]["decided_by"].get("reactive", 0) > 0, \
+    "open breaker must shift hybrid provenance to the reactive tier"
+print("BENCH_autoscale.json schema OK")
+PYEOF
+
 echo "== serving-stream bench (quick) =="
 REPRO_BENCH_QUICK=1 REPRO_BENCH_ARTIFACT_DIR="$BENCH_DIR" \
     PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -x -q \

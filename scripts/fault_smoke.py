@@ -20,7 +20,13 @@ behaviour:
   must fire the ``repro.obs.monitor`` drift detectors within a bounded
   delay and degrade the health verdict;
 * ``corrupt@model.load`` + real truncation — loading surfaces a typed
-  ``CorruptModelError`` or degrades to the fallback chain.
+  ``CorruptModelError`` or degrades to the fallback chain;
+* ``boom@serve.predict`` under the hybrid controller — a dead forecast
+  path opens the breaker and provisioning visibly shifts to the
+  reactive tier (``decided_by``), never crashing the schedule;
+* a drift-latched detector shared with the controller — burst mode
+  engages while forecasts underpredict and clears (resetting the
+  detector) once provisioning is adequate again.
 
 Exit status: 0 when every scenario recovers as specified, 1 otherwise.
 """
@@ -244,6 +250,52 @@ def smoke_corrupt_model(series) -> None:
         assert np.isfinite(p) and p >= 0, "fallback chain must still serve"
 
 
+def smoke_controller_reactive_takeover(series) -> None:
+    """Forecast outage: the hybrid controller must go reactive, not down."""
+    from repro.autoscale import HybridPolicy
+    from repro.baselines import LastValuePredictor
+    from repro.serving import OPEN, GuardedPredictor
+
+    guarded = GuardedPredictor(LastValuePredictor())
+    policy = HybridPolicy(guarded)
+    with faults.injected("boom@serve.predict:*"):
+        schedule = policy.schedule(series, 200)
+    assert np.all(np.isfinite(schedule)) and np.all(schedule >= 0), \
+        "the schedule must stay finite through a total forecast outage"
+    assert guarded.breaker.state == OPEN, "sustained crashes must open the breaker"
+    ctl = policy.controller
+    assert ctl.decided_by.get("reactive", 0) > 0, \
+        "an open breaker must shift decisions to the reactive tier"
+    assert ctl.decided_by.get("reactive", 0) >= ctl.decided_by.get("hybrid", 0), \
+        "reactive provenance must dominate once the breaker is open"
+
+
+def smoke_controller_burst(series) -> None:
+    """Drift latch -> burst engages; healthy provisioning -> burst clears."""
+    from repro.autoscale import ControllerConfig, HybridController
+    from repro.obs.monitor import PageHinkleyDetector
+
+    # Page-Hinkley fires on error *increase* only, so the post-clear
+    # reset recalibrates quietly — the latch/clear cycle is exact.
+    detector = PageHinkleyDetector()
+    controller = HybridController(
+        ControllerConfig(burst_streak=None, burst_clear=5),
+        drift_detector=detector,
+    )
+    arrivals = np.full(100, 100.0)
+    # Phase 1 (accurate), phase 2 (forecasts silently at 40% -> detector
+    # fires, burst latches), phase 3 (accurate again -> burst clears).
+    for i in range(1, arrivals.size):
+        forecast = 100.0 * (0.4 if 20 <= i < 50 else 1.0)
+        controller.step(forecast, arrivals[:i])
+    assert controller.burst_episodes == 1, \
+        f"burst must latch exactly once, got {controller.burst_episodes}"
+    assert controller.burst_reason is None and not controller.burst, \
+        "burst must clear after sustained adequate provisioning"
+    assert not detector.drifted, \
+        "clearing burst must reset the still-latched drift detector"
+
+
 SCENARIOS = (
     smoke_nan_loss,
     smoke_gp_linalg,
@@ -254,6 +306,8 @@ SCENARIOS = (
     smoke_refit_crash,
     smoke_drift_detection,
     smoke_corrupt_model,
+    smoke_controller_reactive_takeover,
+    smoke_controller_burst,
 )
 
 

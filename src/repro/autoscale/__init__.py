@@ -14,10 +14,19 @@ Components:
 
 * :mod:`repro.autoscale.cloudsim` — the interval-driven simulator;
 * :mod:`repro.autoscale.policy` — predictive + reactive + oracle policies;
+* :mod:`repro.autoscale.controller` — the collaborative proactive +
+  reactive :class:`HybridController` with safety rails and burst mode;
+* :mod:`repro.autoscale.scenarios` — the adversarial scenario harness;
 * :mod:`repro.autoscale.metrics` — turnaround / provisioning summaries.
 """
 
 from repro.autoscale.cloudsim import CloudSimulator, SimulationResult, VMSpec
+from repro.autoscale.controller import (
+    ControllerConfig,
+    Decision,
+    HybridController,
+    HybridPolicy,
+)
 from repro.autoscale.cost import CostReport, PricingModel, price_run
 from repro.autoscale.metrics import AutoscaleSummary, summarize
 from repro.autoscale.policy import (
@@ -25,6 +34,14 @@ from repro.autoscale.policy import (
     PredictivePolicy,
     ReactivePolicy,
     provisioning_schedule,
+)
+
+# Scenarios import last: the harness builds on every sibling above (and
+# lazily reaches into repro.serving, which itself imports this package).
+from repro.autoscale.scenarios import (  # noqa: E402
+    Scenario,
+    default_scenarios,
+    run_matrix,
 )
 
 __all__ = [
@@ -35,6 +52,13 @@ __all__ = [
     "ReactivePolicy",
     "OraclePolicy",
     "provisioning_schedule",
+    "ControllerConfig",
+    "Decision",
+    "HybridController",
+    "HybridPolicy",
+    "Scenario",
+    "default_scenarios",
+    "run_matrix",
     "AutoscaleSummary",
     "summarize",
     "PricingModel",

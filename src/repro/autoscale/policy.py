@@ -66,15 +66,50 @@ class PredictivePolicy:
 
 
 class ReactivePolicy:
-    """Provision what arrived in the previous interval (persistence)."""
+    """Provision from recent observed arrivals (generalized persistence).
 
-    name = "reactive"
+    The classic rule — provision what arrived last interval — is the
+    ``window=1, headroom=1.0`` default.  Generalized, the policy
+    provisions ``headroom x max`` of the last ``window`` *finite*
+    observations, which is the reactive tier the
+    :class:`~repro.autoscale.controller.HybridController` degrades to: a
+    wider window rides out single-interval dips, a headroom factor > 1
+    buys margin against the one-interval reaction lag.  Non-finite
+    observations (sensor outages, corrupted traces) are ignored inside
+    the window; an all-non-finite window provisions 0 VMs (there is
+    nothing to react to).
+    """
+
+    def __init__(self, window: int = 1, headroom: float = 1.0):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if headroom <= 0:
+            raise ValueError("headroom must be positive")
+        self.window = int(window)
+        self.headroom = float(headroom)
+        self.name = (
+            "reactive"
+            if window == 1 and headroom == 1.0
+            else f"reactive[k={window},h={headroom:g}]"
+        )
 
     def schedule(self, arrivals: np.ndarray, start: int) -> np.ndarray:
         a = np.asarray(arrivals, dtype=np.float64)
         if not 0 < start <= a.size:
             raise ValueError("start must be inside the arrivals series")
-        return np.ceil(a[start - 1 : a.size - 1])
+        if self.window == 1 and self.headroom == 1.0 and np.all(np.isfinite(a)):
+            # Degenerate default on clean data: the original persistence
+            # rule, bit-for-bit.
+            return np.ceil(a[start - 1 : a.size - 1])
+        out = np.empty(a.size - start)
+        for j, i in enumerate(range(start, a.size)):
+            tail = a[max(i - self.window, 0) : i]
+            finite = tail[np.isfinite(tail)]
+            peak = float(finite.max()) if finite.size else 0.0
+            if self.headroom != 1.0:
+                peak *= self.headroom
+            out[j] = np.ceil(max(peak, 0.0))
+        return out
 
 
 class OraclePolicy:

@@ -11,6 +11,9 @@ Commands map 1:1 to the experiment runners and the core workflow:
   study, optionally ``--guarded`` (sanitization, fallbacks, breaker)
   and/or ``--monitor`` (rolling accuracy, drift detection, SLO health;
   ``--metrics-out`` dumps the metrics registry to JSON);
+* ``autoscale`` — run the adversarial scenario matrix (flash crowds,
+  regime shifts, trace corruption, injected serving faults) comparing
+  predictive vs reactive vs hybrid provisioning policies;
 * ``metrics`` — render a ``--metrics-out`` snapshot as Prometheus text
   or stable JSON;
 * ``fig2`` / ``fig5`` / ``fig9`` / ``table4`` / ``fig10`` / ``ablation``
@@ -123,6 +126,22 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--metrics-out", metavar="PATH.json", default=None,
                      help="write the full metrics-registry snapshot to this "
                           "JSON file after the run (implies --monitor)")
+
+    auto = sub.add_parser(
+        "autoscale",
+        help="adversarial autoscaling matrix: predictive vs reactive vs hybrid",
+    )
+    auto.add_argument("--scenarios", nargs="*", default=None, metavar="NAME",
+                      help="subset of scenarios (default: all; see "
+                           "repro.autoscale.scenarios.SCENARIO_NAMES)")
+    auto.add_argument("--policies", nargs="*", default=None, metavar="NAME",
+                      help="subset of policies (default: predictive reactive hybrid)")
+    auto.add_argument("--quick", action="store_true",
+                      help="shorter traces (6 days, serve 3) for CI-speed runs")
+    auto.add_argument("--seed", type=int, default=7,
+                      help="scenario-generation seed (default 7)")
+    auto.add_argument("--json-out", metavar="PATH.json", default=None,
+                      help="also write the full scenario x policy matrix as JSON")
 
     met = sub.add_parser(
         "metrics",
@@ -382,6 +401,62 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _cmd_autoscale(args) -> int:
+    from repro.autoscale.scenarios import (
+        POLICY_NAMES,
+        SCENARIO_NAMES,
+        default_scenarios,
+        run_matrix,
+    )
+    from repro.experiments import format_table
+
+    for name in args.scenarios or ():
+        if name not in SCENARIO_NAMES:
+            print(f"error: unknown scenario {name!r}; choose from "
+                  f"{' '.join(SCENARIO_NAMES)}", file=sys.stderr)
+            return 2
+    for name in args.policies or ():
+        if name not in POLICY_NAMES:
+            print(f"error: unknown policy {name!r}; choose from "
+                  f"{' '.join(POLICY_NAMES)}", file=sys.stderr)
+            return 2
+
+    if args.quick:
+        scenarios = default_scenarios(days=6, serve_days=3, seed=args.seed)
+    else:
+        scenarios = default_scenarios(seed=args.seed)
+    if args.scenarios:
+        scenarios = [s for s in scenarios if s.name in args.scenarios]
+    policies = tuple(args.policies) if args.policies else POLICY_NAMES
+
+    matrix = run_matrix(scenarios, policies)
+    rows = []
+    for scenario_name, cell in matrix["scenarios"].items():
+        for policy_name, row in cell["policies"].items():
+            ctl = row.get("controller") or {}
+            decided = ctl.get("decided_by", {})
+            rows.append({
+                "scenario": scenario_name,
+                "policy": policy_name,
+                "turnaround_s": row["mean_turnaround_seconds"],
+                "under_pct": row["underprovision_rate_pct"],
+                "over_pct": row["overprovision_rate_pct"],
+                "sla_viol_pct": row["sla_violation_rate_pct"],
+                "cost_usd": row["total_cost"],
+                "decided_by": " ".join(
+                    f"{k}={v}" for k, v in sorted(decided.items())
+                ) or "-",
+            })
+    print(format_table(rows))
+    if args.json_out:
+        import json
+
+        with open(args.json_out, "w") as fh:
+            json.dump({"schema": 1, **matrix}, fh, indent=2, sort_keys=True)
+        print(f"\nmatrix written to : {args.json_out}")
+    return 0
+
+
 def _cmd_metrics(args) -> int:
     import json
 
@@ -477,6 +552,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_predict(args)
         if args.command == "simulate":
             return _cmd_simulate(args)
+        if args.command == "autoscale":
+            return _cmd_autoscale(args)
         if args.command == "metrics":
             return _cmd_metrics(args)
         return _cmd_figures(args)

@@ -151,6 +151,21 @@ class AdaptiveLoadDynamics(Predictor):
         """Total (re)fits performed, including the initial one."""
         return len(self.refit_history)
 
+    @property
+    def drift_latch(self):
+        """The shared drift detector, or ``None`` without one.
+
+        Hand this to ``HybridController(drift_detector=...)`` and one
+        latched detector drives both halves of the recovery story: this
+        wrapper refits the model while the controller's burst mode
+        provisions defensively until forecasts are healthy again.  Both
+        consumers reset the detector when their recovery completes
+        (refit installed here; burst cleared there) — the
+        :class:`~repro.obs.monitor.drift.DriftDetectorBase` reset
+        contract makes that safe from either side.
+        """
+        return self.refit_on_drift
+
     def _min_series_length(self) -> int:
         cfg = self._settings
         # Enough for a 60/20/20 split with some training windows.

@@ -48,6 +48,12 @@ Fault kinds
     trace jumping to a regime the model has not learned.  This is how
     the drift detectors in :mod:`repro.obs.monitor` are exercised under
     ``REPRO_FAULTS``.
+``spike``
+    Non-raising, returned to the caller, which owns the loaded trace —
+    planted at ``trace.load`` the loader injects a deterministic flash
+    crowd (:func:`repro.traces.inject_flash_crowd`) scaled by ``arg``
+    (default 3.0) into the loaded counts, emulating a demand surge the
+    recorded trace never saw.
 
 Spec grammar (``REPRO_FAULTS`` env var or :meth:`FaultInjector.parse`)::
 
@@ -88,10 +94,14 @@ logger = get_logger("resilience.faults")
 #: Environment variable holding a fault spec list (see module docstring).
 FAULTS_ENV = "REPRO_FAULTS"
 
-FAULT_KINDS = ("nan_loss", "linalg", "slow", "kill", "nan", "boom", "corrupt", "drift")
+FAULT_KINDS = (
+    "nan_loss", "linalg", "slow", "kill", "nan", "boom", "corrupt", "drift",
+    "spike",
+)
 
 #: Known injection sites (informational; unknown sites simply never fire).
-#: The last three are the serving-time sites added with repro.serving.
+#: The serving-time sites arrived with repro.serving; ``trace.load``
+#: with the autoscale scenario harness.
 FAULT_SITES = (
     "nn.fit",
     "gp.fit",
@@ -99,6 +109,7 @@ FAULT_SITES = (
     "serve.predict",
     "adaptive.refit",
     "model.load",
+    "trace.load",
 )
 
 

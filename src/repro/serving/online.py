@@ -29,11 +29,13 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.autoscale import CloudSimulator, SimulationResult, VMSpec, provisioning_schedule
+from repro.autoscale.controller import _guarded_forecast
 from repro.baselines.base import Predictor
 from repro.obs import metrics as _metrics
 from repro.serving.guard import GuardedPredictor
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.autoscale.controller import HybridController
     from repro.obs.monitor.monitor import ForecastMonitor
 
 __all__ = ["ServingReport", "daily_period", "serve_and_simulate"]
@@ -60,6 +62,9 @@ class ServingReport:
     serving_counters: dict[str, float] = field(default_factory=dict)
     #: Breaker (from, to, reason) transitions, when the predictor had one.
     breaker_transitions: list[tuple[str, str, str]] = field(default_factory=list)
+    #: Breaker state after the run (``closed``/``open``/``half_open``),
+    #: ``None`` when the predictor carried no breaker.
+    breaker_state: str | None = None
     #: Per-stage serve counts, when the predictor was guarded.
     served_by: dict[str, int] = field(default_factory=dict)
     #: Rolling/cumulative accuracy section, when a monitor was attached.
@@ -70,6 +75,9 @@ class ServingReport:
     slo: dict | None = None
     #: Folded health verdict (status + reasons), when monitored.
     health: dict | None = None
+    #: :meth:`HybridController.snapshot` (decided_by counts, rail hits,
+    #: burst state), when the run was closed-loop.
+    controller: dict | None = None
 
     @property
     def n_fallback_serves(self) -> int:
@@ -121,6 +129,46 @@ def _monitored_walk(
     return preds
 
 
+def _controller_walk(
+    predictor: Predictor,
+    series: np.ndarray,
+    start: int,
+    refit_every: int,
+    controller: "HybridController",
+    monitor: "ForecastMonitor | None",
+) -> np.ndarray:
+    """Closed-loop walk: each revealed actual feeds the corrector.
+
+    The controller owns degradation, so unlike the open-loop walks a
+    failing or non-finite forecast is *not* rescued here — it reaches
+    :meth:`HybridController.step` as NaN and routes the decision to the
+    reactive tier (visible in ``decided_by``, exactly as in offline
+    :class:`~repro.autoscale.controller.HybridPolicy` schedules).  The
+    emitted schedule is the controller's whole-VM decisions, rails and
+    burst included.  A monitor still scores only the *finite* forecasts
+    — decisions are not forecasts.
+    """
+    n = series.size
+    if not 0 < start <= n:
+        raise ValueError(f"invalid start {start} for series of length {n}")
+    if refit_every < 1:
+        raise ValueError("refit_every must be >= 1")
+    if controller.breaker is None:
+        controller.breaker = getattr(predictor, "breaker", None)
+    controller.reset()
+    perf_counter = time.perf_counter
+    schedule = np.empty(n - start)
+    for j, i in enumerate(range(start, n)):
+        history = series[:i]
+        t0 = perf_counter()
+        p = _guarded_forecast(predictor, history, refit=(j % refit_every == 0))
+        latency = perf_counter() - t0
+        if monitor is not None and np.isfinite(p):
+            monitor.observe(max(float(p), 0.0), float(series[i]), latency_s=latency)
+        schedule[j] = controller.step(p, history).vms
+    return schedule
+
+
 def serve_and_simulate(
     predictor: Predictor,
     arrivals: np.ndarray,
@@ -130,6 +178,7 @@ def serve_and_simulate(
     refit_every: int = 1,
     seed: int = 0,
     monitor: "ForecastMonitor | None" = None,
+    controller: "HybridController | None" = None,
 ) -> ServingReport:
     """Walk ``predictor`` over ``arrivals[start:]`` and simulate the result.
 
@@ -142,9 +191,20 @@ def serve_and_simulate(
     interval is scored as it is revealed and the report gains
     quality/drift/SLO/health sections.  Unmonitored runs take the
     original code path untouched.
+
+    ``controller`` closes the loop: instead of provisioning the raw
+    forecasts, each revealed arrival feeds the
+    :class:`~repro.autoscale.controller.HybridController` corrector and
+    the *controller's decisions* (correction, rails, burst, tiered
+    degradation) become the schedule; the report gains the controller
+    snapshot and the breaker state.
     """
     a = np.asarray(arrivals, dtype=np.float64).ravel()
-    if monitor is None:
+    if controller is not None:
+        schedule = _controller_walk(
+            predictor, a, start, refit_every, controller, monitor
+        )
+    elif monitor is None:
         schedule = provisioning_schedule(predictor, a, start, refit_every=refit_every)
     else:
         preds = _monitored_walk(predictor, a, start, refit_every, monitor)
@@ -163,15 +223,19 @@ def serve_and_simulate(
     }
     transitions: list[tuple[str, str, str]] = []
     served_by: dict[str, int] = {}
+    breaker_state: str | None = None
     if isinstance(predictor, GuardedPredictor):
         transitions = list(predictor.breaker.transitions)
+        breaker_state = predictor.breaker.state
         served_by = dict(predictor.served_by)
     report = ServingReport(
         result=result,
         schedule=schedule,
         serving_counters=counters,
         breaker_transitions=transitions,
+        breaker_state=breaker_state,
         served_by=served_by,
+        controller=controller.snapshot() if controller is not None else None,
     )
     if monitor is not None:
         sections = monitor.report()

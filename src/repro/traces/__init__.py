@@ -30,6 +30,8 @@ from repro.traces.synthetic import (
     azure_trace,
     facebook_trace,
     google_trace,
+    inject_flash_crowd,
+    inject_regime_shift,
     lcg_trace,
     wikipedia_trace,
 )
@@ -46,6 +48,8 @@ __all__ = [
     "facebook_trace",
     "azure_trace",
     "lcg_trace",
+    "inject_flash_crowd",
+    "inject_regime_shift",
     "TRACE_NAMES",
     "ALL_CONFIGURATIONS",
     "get_trace",

@@ -93,11 +93,34 @@ class WorkloadConfig:
         return f"{self.trace_name}-{self.interval_minutes}m"
 
     def load(self, **trace_kwargs) -> np.ndarray:
-        """Materialize the JAR series for this configuration."""
+        """Materialize the JAR series for this configuration.
+
+        Instrumented as the ``trace.load`` fault site: a planted
+        ``spike@trace.load:at=factor`` fault overlays a deterministic
+        flash crowd (:func:`repro.traces.inject_flash_crowd`, scaled by
+        ``factor``, default 3.0) at ~75% through the loaded series —
+        how CI subjects an autoscaling policy to a demand surge the
+        recorded trace never saw.
+        """
+        from repro.resilience import faults as _faults
         from repro.traces.registry import get_trace
 
         trace = get_trace(self.trace_name, **trace_kwargs)
-        return trace.at_interval(self.interval_minutes)
+        series = trace.at_interval(self.interval_minutes)
+        inj = _faults.active()
+        if inj is not None:
+            fired = inj.maybe_fire("trace.load")
+            if "spike" in fired:
+                from repro.traces.synthetic import inject_flash_crowd
+
+                spec = fired["spike"]
+                magnitude = spec.arg if spec.arg is not None else 3.0
+                at = int(0.75 * series.size)
+                width = max(series.size // 50, 6)
+                series = inject_flash_crowd(
+                    series, at, magnitude=magnitude, width=width
+                )
+        return series
 
 
 def aggregate(base_counts: np.ndarray, interval_minutes: int) -> np.ndarray:

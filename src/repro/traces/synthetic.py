@@ -32,6 +32,8 @@ __all__ = [
     "facebook_trace",
     "azure_trace",
     "lcg_trace",
+    "inject_flash_crowd",
+    "inject_regime_shift",
 ]
 
 _MINUTES_PER_DAY = 1440
@@ -81,6 +83,88 @@ def _poisson_counts(
     counts[~big] = rng.poisson(lam[~big])
     counts[big] = np.round(lam[big] + rng.standard_normal(int(big.sum())) * np.sqrt(lam[big]))
     return np.maximum(counts, 0.0)
+
+
+def inject_flash_crowd(
+    counts: np.ndarray,
+    at: int,
+    *,
+    magnitude: float = 3.0,
+    width: int = 12,
+    ramp: int = 2,
+    jitter: float = 0.0,
+    seed: int = 0,
+) -> np.ndarray:
+    """Overlay a flash crowd on ``counts`` — returns a new array.
+
+    A flash crowd (thundering herd, viral link, retry storm) ramps the
+    arrival rate up to ``magnitude`` x baseline over ``ramp`` intervals,
+    holds briefly, then decays exponentially back over the remaining
+    ``width``.  Nothing in the history before ``at`` anticipates it —
+    the canonical disturbance a pure forecaster cannot see coming, used
+    by the :mod:`repro.autoscale.scenarios` adversarial harness.
+
+    Deterministic in ``(at, magnitude, width, ramp, jitter, seed)``;
+    ``jitter`` adds seeded multiplicative noise (std as a fraction of
+    the disturbance) so repeated spikes are not carbon copies.
+    """
+    c = np.asarray(counts, dtype=np.float64).copy()
+    if not 0 <= at < c.size:
+        raise ValueError("at must be inside the series")
+    if magnitude < 1.0:
+        raise ValueError("magnitude must be >= 1.0 (a crowd, not a dip)")
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    if ramp < 1:
+        raise ValueError("ramp must be >= 1")
+    end = min(at + width, c.size)
+    span = end - at
+    t = np.arange(span, dtype=np.float64)
+    rise = np.minimum(t / ramp, 1.0)
+    decay = np.exp(-np.maximum(t - ramp, 0.0) / max((width - ramp) / 3.0, 1.0))
+    gain = 1.0 + (magnitude - 1.0) * rise * decay
+    if jitter > 0.0:
+        rng = np.random.default_rng(seed)
+        gain *= np.maximum(1.0 + rng.standard_normal(span) * jitter, 0.1)
+        gain = np.maximum(gain, 1.0)
+    c[at:end] *= gain
+    return c
+
+
+def inject_regime_shift(
+    counts: np.ndarray,
+    at: int,
+    *,
+    factor: float = 2.0,
+    ramp: int = 0,
+    jitter: float = 0.0,
+    seed: int = 0,
+) -> np.ndarray:
+    """Apply a persistent level shift to ``counts[at:]`` — returns a new array.
+
+    A regime shift (tenant onboarding, product launch, upstream
+    migration) multiplies demand by ``factor`` from ``at`` onward —
+    permanently, unlike a flash crowd.  ``ramp > 0`` phases the shift in
+    linearly over that many intervals; ``jitter`` adds seeded
+    multiplicative noise to the shifted region.  Deterministic in
+    ``(at, factor, ramp, jitter, seed)``.
+    """
+    c = np.asarray(counts, dtype=np.float64).copy()
+    if not 0 <= at < c.size:
+        raise ValueError("at must be inside the series")
+    if factor <= 0.0:
+        raise ValueError("factor must be positive")
+    if ramp < 0:
+        raise ValueError("ramp must be non-negative")
+    span = c.size - at
+    t = np.arange(span, dtype=np.float64)
+    frac = np.minimum(t / ramp, 1.0) if ramp > 0 else np.ones(span)
+    gain = 1.0 + (factor - 1.0) * frac
+    if jitter > 0.0:
+        rng = np.random.default_rng(seed)
+        gain *= np.maximum(1.0 + rng.standard_normal(span) * jitter, 0.1)
+    c[at:] *= gain
+    return c
 
 
 def wikipedia_trace(days: int = 21, seed: int = 11) -> WorkloadTrace:

@@ -58,6 +58,8 @@ MODULES = PACKAGES + [
     "repro.core.adaptive",
     "repro.core.bruteforce",
     "repro.autoscale.cloudsim",
+    "repro.autoscale.controller",
+    "repro.autoscale.scenarios",
     "repro.serving.sanitize",
     "repro.serving.guard",
     "repro.serving.breaker",

@@ -152,6 +152,63 @@ class TestPolicies:
             OraclePolicy().schedule(np.ones(5), start=9)
 
 
+class TestReactiveGeneralized:
+    def test_defaults_bit_for_bit_identical(self):
+        """window=1, headroom=1.0 must reproduce the original rule exactly."""
+        rng = np.random.default_rng(3)
+        arrivals = rng.uniform(0, 500, 200)
+        old_rule = np.ceil(arrivals[49:199])
+        np.testing.assert_array_equal(
+            ReactivePolicy().schedule(arrivals, start=50), old_rule
+        )
+        assert ReactivePolicy().name == "reactive"
+
+    def test_window_takes_max_of_last_k(self):
+        arrivals = np.array([5.0, 1.0, 2.0, 9.0, 3.0, 4.0])
+        sched = ReactivePolicy(window=3).schedule(arrivals, start=3)
+        # max of [5,1,2]=5, [1,2,9]=9, [2,9,3]=9
+        np.testing.assert_array_equal(sched, [5.0, 9.0, 9.0])
+
+    def test_headroom_scales_before_ceil(self):
+        arrivals = np.array([10.0, 10.0, 10.0])
+        sched = ReactivePolicy(headroom=1.25).schedule(arrivals, start=1)
+        np.testing.assert_array_equal(sched, [13.0, 13.0])
+
+    def test_nonfinite_observations_ignored(self):
+        arrivals = np.array([4.0, np.nan, 6.0, np.nan, np.nan])
+        sched = ReactivePolicy(window=2).schedule(arrivals, start=2)
+        # windows: [4,nan]->4, [nan,6]->6, [6,nan]->6
+        np.testing.assert_array_equal(sched, [4.0, 6.0, 6.0])
+
+    def test_all_nonfinite_window_provisions_zero(self):
+        arrivals = np.array([np.nan, np.nan, 5.0])
+        sched = ReactivePolicy().schedule(arrivals, start=2)
+        np.testing.assert_array_equal(sched, [0.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReactivePolicy(window=0)
+        with pytest.raises(ValueError):
+            ReactivePolicy(headroom=0.0)
+
+    @given(
+        arrivals=arrays(np.float64, 30, elements=st.floats(0, 100)),
+        window=st.integers(1, 6),
+        headroom=st.floats(1.0, 3.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_generalized_dominates_window_values(self, arrivals, window, headroom):
+        """Every decision covers headroom x every finite value in its window."""
+        sched = ReactivePolicy(window=window, headroom=headroom).schedule(
+            arrivals, start=10
+        )
+        for j, i in enumerate(range(10, arrivals.size)):
+            tail = arrivals[max(i - window, 0) : i]
+            finite = tail[np.isfinite(tail)]
+            if finite.size:
+                assert sched[j] >= headroom * finite.max() - 1e-6
+
+
 class TestSummary:
     def test_summarize_fields(self, spec):
         sim = CloudSimulator(spec=spec, seed=0)

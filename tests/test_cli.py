@@ -158,3 +158,37 @@ class TestCommands:
         ])
         assert rc == 0
         assert "selected" in capsys.readouterr().out
+
+
+class TestAutoscale:
+    def test_parser_options(self):
+        args = build_parser().parse_args(
+            ["autoscale", "--quick", "--scenarios", "steady", "flash_crowd",
+             "--policies", "hybrid", "--seed", "3", "--json-out", "m.json"]
+        )
+        assert args.command == "autoscale"
+        assert args.scenarios == ["steady", "flash_crowd"]
+        assert args.policies == ["hybrid"]
+        assert args.quick and args.seed == 3 and args.json_out == "m.json"
+
+    def test_unknown_names_error(self, capsys):
+        assert main(["autoscale", "--scenarios", "bogus"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+        assert main(["autoscale", "--policies", "oracle"]) == 2
+        assert "unknown policy" in capsys.readouterr().err
+
+    def test_quick_single_cell_runs(self, capsys, tmp_path):
+        out_json = tmp_path / "matrix.json"
+        rc = main([
+            "autoscale", "--quick", "--scenarios", "steady",
+            "--policies", "reactive", "hybrid", "--json-out", str(out_json),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "steady" in out and "reactive" in out and "hybrid" in out
+        import json
+
+        payload = json.loads(out_json.read_text())
+        cell = payload["scenarios"]["steady"]["policies"]
+        assert set(cell) == {"reactive", "hybrid"}
+        assert cell["hybrid"]["controller"]["n_decisions"] > 0

@@ -202,3 +202,64 @@ class TestRegistry:
         a = get_trace("wiki")
         b = get_trace("wiki")
         assert a is b
+
+
+class TestInjectors:
+    def test_flash_crowd_is_local_and_decays(self):
+        from repro.traces import inject_flash_crowd
+
+        base = np.full(100, 10.0)
+        out = inject_flash_crowd(base, 40, magnitude=3.0, width=12, ramp=2)
+        np.testing.assert_array_equal(out[:40], base[:40])  # untouched before
+        assert out[42] == pytest.approx(30.0)  # peak after the ramp
+        assert out[42] > out[48] > out[60]  # exponential decay
+        np.testing.assert_allclose(out[80:], 10.0, rtol=1e-3)  # spike over
+        np.testing.assert_array_equal(base, 10.0)  # input not mutated
+
+    def test_flash_crowd_jitter_deterministic(self):
+        from repro.traces import inject_flash_crowd
+
+        base = np.full(60, 10.0)
+        a = inject_flash_crowd(base, 20, jitter=0.1, seed=4)
+        b = inject_flash_crowd(base, 20, jitter=0.1, seed=4)
+        np.testing.assert_array_equal(a, b)
+        assert not np.array_equal(a, inject_flash_crowd(base, 20, jitter=0.1, seed=5))
+
+    def test_regime_shift_is_permanent(self):
+        from repro.traces import inject_regime_shift
+
+        base = np.full(50, 10.0)
+        out = inject_regime_shift(base, 30, factor=2.0)
+        np.testing.assert_array_equal(out[:30], 10.0)
+        np.testing.assert_array_equal(out[30:], 20.0)
+
+    def test_regime_shift_ramp(self):
+        from repro.traces import inject_regime_shift
+
+        out = inject_regime_shift(np.full(50, 10.0), 20, factor=3.0, ramp=10)
+        assert out[19] == 10.0
+        assert 10.0 < out[24] < 30.0  # mid-ramp
+        np.testing.assert_allclose(out[30:], 30.0)
+
+    def test_injector_validation(self):
+        from repro.traces import inject_flash_crowd, inject_regime_shift
+
+        with pytest.raises(ValueError):
+            inject_flash_crowd(np.ones(10), 20)  # spike outside the series
+        with pytest.raises(ValueError):
+            inject_flash_crowd(np.ones(10), 5, magnitude=0.5)
+        with pytest.raises(ValueError):
+            inject_regime_shift(np.ones(10), 5, factor=0.0)
+
+    def test_spike_fault_at_trace_load(self):
+        from repro.resilience import faults
+
+        cfg = get_configuration("fb-10m")
+        clean = cfg.load()
+        with faults.injected("spike@trace.load:*=4.0"):
+            spiked = cfg.load()
+        assert spiked.size == clean.size
+        at = int(0.75 * clean.size)  # where the loader plants the crowd
+        assert np.all(spiked >= clean) and np.any(spiked > clean)
+        np.testing.assert_array_equal(spiked[:at], clean[:at])
+        np.testing.assert_array_equal(cfg.load(), clean)  # no lingering fault
