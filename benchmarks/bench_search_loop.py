@@ -1,0 +1,166 @@
+"""Search-loop latency: incremental surrogate vs per-tell refits.
+
+The perf pass replaced the O(n^3) surrogate refit after every ``tell``
+with an O(n^2) rank-1 Cholesky append and the scalar L-BFGS-B polish
+with a batched candidate sweep.  This bench pins both claims:
+
+1. **Tell latency** (``test_incremental_tell_speedup``): at n=200
+   observations, mean :meth:`GaussianProcessRegressor.update` latency
+   must be at least **3x** lower than a from-scratch
+   ``fit(optimize=False)`` at the same sizes — while the two posteriors
+   stay within ``rtol=1e-9`` of each other (speed that changes the
+   answer is not speed).  Asserted in full mode; quick mode validates
+   the harness at toy sizes.
+2. **Loop latency** (``test_bo_loop_latency``): p50 wall-clock of
+   ``suggest`` and ``tell`` over a closed incremental+sweep BO loop on
+   the paper's default space — the per-iteration overhead LoadDynamics
+   pays on top of model training.  The default (per-suggest refit +
+   polish) loop is timed alongside for the comparison row.
+
+Every measurement lands under ``bench.search.*`` and is dumped to
+``BENCH_search.json``.  Set ``REPRO_BENCH_QUICK=1`` for the CI smoke.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.bayesopt import BayesianOptimizer
+from repro.core.config import search_space_for
+from repro.gp import GaussianProcessRegressor, Matern52
+
+ARTIFACT = Path(
+    os.environ.get(
+        "REPRO_BENCH_ARTIFACT_DIR", Path(__file__).resolve().parent.parent
+    )
+) / "BENCH_search.json"
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+#: Observation count at which tell latency is measured (the acceptance
+#: criterion's n=200), and appends averaged over.
+N_BASE = 60 if QUICK else 200
+N_APPENDS = 8 if QUICK else 25
+#: Iterations of the closed BO loops.
+N_LOOP = 12 if QUICK else 40
+
+
+@pytest.fixture(scope="module", autouse=True)
+def bench_artifact():
+    """Write the ``bench.search.*`` metrics to BENCH_search.json."""
+    yield
+    report = obs.summary()
+    metrics = {
+        name: snap
+        for name, snap in report["metrics"].items()
+        if name.startswith("bench.search.")
+    }
+    if not metrics:
+        return
+    ARTIFACT.write_text(
+        json.dumps({"schema": report["schema"], "metrics": metrics}, indent=2)
+        + "\n",
+        encoding="utf-8",
+    )
+
+
+def _surrogate_like_data(n: int, d: int = 6, seed: int = 0):
+    """Observations shaped like a BO history: unit-cube X, bounded y."""
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(size=(n, d))
+    y = np.sum((X - 0.37) ** 2, axis=1) + 0.05 * rng.normal(size=n)
+    return X, y
+
+
+def test_incremental_tell_speedup():
+    """Rank-1 append >= 3x faster than per-tell refit at n=200, same answer."""
+    n_total = N_BASE + N_APPENDS
+    X, y = _surrogate_like_data(n_total)
+    perf = time.perf_counter
+
+    def make_gp():
+        return GaussianProcessRegressor(
+            kernel=Matern52(ard=True, n_dims=X.shape[1], lengthscale=0.3),
+            noise=1e-4,
+            optimize=False,
+        )
+
+    inc = make_gp()
+    inc.fit(X[:N_BASE], y[:N_BASE])
+    update_s = []
+    for i in range(N_BASE, n_total):
+        t0 = perf()
+        inc.update(X[i], y[i])
+        update_s.append(perf() - t0)
+
+    refit_s = []
+    ref = None
+    for i in range(N_BASE, n_total):
+        ref = make_gp()
+        t0 = perf()
+        ref.fit(X[: i + 1], y[: i + 1])
+        refit_s.append(perf() - t0)
+
+    # Parity first: both paths must describe the same posterior.
+    rng = np.random.default_rng(99)
+    Xq = rng.uniform(size=(64, X.shape[1]))
+    mu_i, sd_i = inc.predict(Xq, return_std=True)
+    mu_r, sd_r = ref.predict(Xq, return_std=True)
+    scale = float(np.max(np.abs(y)))
+    np.testing.assert_allclose(mu_i, mu_r, rtol=1e-9, atol=1e-9 * scale)
+    np.testing.assert_allclose(sd_i, sd_r, rtol=1e-9, atol=1e-12)
+
+    t_update = float(np.mean(update_s))
+    t_refit = float(np.mean(refit_s))
+    speedup = t_refit / t_update
+    obs.gauge("bench.search.tell_update_ms_mean").set(t_update * 1e3)
+    obs.gauge("bench.search.tell_refit_ms_mean").set(t_refit * 1e3)
+    obs.gauge("bench.search.tell_speedup").set(speedup)
+    print(f"\n[search-loop] tell at n={N_BASE}: rank-1 {t_update*1e3:.3f} ms "
+          f"vs refit {t_refit*1e3:.3f} ms = {speedup:.1f}x")
+    if not QUICK:
+        assert speedup >= 3.0, (
+            f"rank-1 tell is only {speedup:.2f}x faster than a full refit "
+            f"at n={N_BASE} (required: 3x)"
+        )
+
+
+def _timed_loop(**bo_kwargs) -> tuple[list[float], list[float]]:
+    """Run a closed BO loop, returning per-call suggest/tell seconds."""
+    space = search_space_for("default", "paper")
+    opt = BayesianOptimizer(space, seed=17, **bo_kwargs)
+    perf = time.perf_counter
+    suggest_s: list[float] = []
+    tell_s: list[float] = []
+    for _ in range(N_LOOP):
+        t0 = perf()
+        config = opt.suggest()
+        suggest_s.append(perf() - t0)
+        u = space.to_unit(config)
+        value = float(np.sum((u - 0.42) ** 2) + 0.03 * np.sum(np.cos(7.0 * u)))
+        t0 = perf()
+        opt.tell(config, value)
+        tell_s.append(perf() - t0)
+    return suggest_s, tell_s
+
+
+def test_bo_loop_latency():
+    """p50 suggest/tell latency of the incremental+sweep loop (+ default)."""
+    inc_suggest, inc_tell = _timed_loop(incremental=True)
+    def_suggest, def_tell = _timed_loop()
+
+    p50 = lambda xs: float(np.percentile(xs, 50)) * 1e3  # noqa: E731
+    obs.gauge("bench.search.suggest_ms_p50").set(p50(inc_suggest))
+    obs.gauge("bench.search.tell_ms_p50").set(p50(inc_tell))
+    obs.gauge("bench.search.default_suggest_ms_p50").set(p50(def_suggest))
+    obs.gauge("bench.search.default_tell_ms_p50").set(p50(def_tell))
+    obs.gauge("bench.search.loop_iters").set(float(N_LOOP))
+    print(f"\n[search-loop] incremental loop: suggest p50 "
+          f"{p50(inc_suggest):.2f} ms, tell p50 {p50(inc_tell):.3f} ms "
+          f"(default: {p50(def_suggest):.2f} / {p50(def_tell):.3f} ms)")

@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""CI smoke: the incremental search loop keeps its refit budget and answer.
+
+Runs a tiny incremental+sweep Bayesian-optimization loop and asserts,
+from the ``gp.refit.full`` / ``gp.refit.rank1`` counters, that ``tell``
+never triggered more full surrogate refits than the ``reopt_every``
+schedule allows — the regression this guards against is an accidental
+cache-invalidation bug quietly refitting O(n^3) every iteration while
+all functional tests stay green.  Then re-checks rank-1/full posterior
+parity at the GP level (rtol=1e-9), so a numerics regression can't hide
+behind a healthy refit count.
+
+Exit code 0 on success; prints the counter arithmetic either way.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+import numpy as np
+
+from repro.bayesopt import BayesianOptimizer
+from repro.core.config import search_space_for
+from repro.gp import GaussianProcessRegressor, Matern52
+from repro.obs import metrics as _metrics
+
+N_INITIAL = 2
+N_ITERS = 12
+REOPT_EVERY = 3
+
+
+def counter(name: str) -> float:
+    return _metrics.counter(name).value
+
+
+def check_refit_schedule() -> None:
+    """The K-periodic expectation, exactly.
+
+    Trials ``N_INITIAL .. N_ITERS-1`` are GP-backed: each suggests off a
+    surrogate and each tell absorbs one observation.  With
+    ``reopt_every=K``, every Kth GP-backed tell drops the surrogate
+    (full refit at the next suggest) and the rest are rank-1 appends:
+
+      gp_tells = N_ITERS - N_INITIAL
+      full     = ceil(gp_tells / K)      (one initial fit + one per drop
+                                          that is followed by a suggest)
+      rank1    = gp_tells - floor(gp_tells / K)
+    """
+    space = search_space_for("default", "paper")
+    opt = BayesianOptimizer(
+        space,
+        seed=5,
+        n_initial=N_INITIAL,
+        incremental=True,
+        reopt_every=REOPT_EVERY,
+    )
+
+    def objective(config: dict) -> float:
+        u = space.to_unit(config)
+        return float(np.sum((u - 0.42) ** 2) + 0.03 * np.sum(np.cos(7.0 * u)))
+
+    full0, rank0 = counter("gp.refit.full"), counter("gp.refit.rank1")
+    opt.run(objective, N_ITERS)
+    full = counter("gp.refit.full") - full0
+    rank1 = counter("gp.refit.rank1") - rank0
+
+    gp_tells = N_ITERS - N_INITIAL
+    want_full = -(-gp_tells // REOPT_EVERY)  # ceil
+    want_rank1 = gp_tells - gp_tells // REOPT_EVERY
+    print(
+        f"[search-perf-smoke] {N_ITERS} iters, reopt_every={REOPT_EVERY}: "
+        f"full={full:.0f} (budget {want_full}), rank1={rank1:.0f} "
+        f"(expected {want_rank1})"
+    )
+    assert rank1 > 0, "incremental mode never took a rank-1 update"
+    assert full <= want_full, (
+        f"tell triggered {full:.0f} full refits; the reopt_every="
+        f"{REOPT_EVERY} schedule allows at most {want_full} — something "
+        "is invalidating the persistent surrogate every iteration"
+    )
+    assert rank1 >= want_rank1, (
+        f"only {rank1:.0f} rank-1 updates (expected {want_rank1}); "
+        "tells are falling back to full refits"
+    )
+
+
+def check_posterior_parity() -> None:
+    """Rank-1 appends describe the same posterior as a full refit."""
+    rng = np.random.default_rng(17)
+    n0, n, d = 12, 24, 4
+
+    def make_gp():
+        return GaussianProcessRegressor(
+            kernel=Matern52(ard=True, n_dims=d, lengthscale=0.3),
+            noise=1e-4,
+            optimize=False,
+        )
+
+    X = rng.uniform(size=(n, d))
+    y = rng.normal(size=n)
+    inc, ref = make_gp(), make_gp()
+    inc.fit(X[:n0], y[:n0])
+    for i in range(n0, n):
+        inc.update(X[i], y[i])
+    ref.fit(X, y)
+    Xq = rng.uniform(size=(32, d))
+    mu_i, sd_i = inc.predict(Xq, return_std=True)
+    mu_r, sd_r = ref.predict(Xq, return_std=True)
+    np.testing.assert_allclose(mu_i, mu_r, rtol=1e-9, atol=1e-12)
+    np.testing.assert_allclose(sd_i, sd_r, rtol=1e-9, atol=1e-12)
+    print(f"[search-perf-smoke] posterior parity OK over {n - n0} appends")
+
+
+def main() -> int:
+    check_refit_schedule()
+    check_posterior_parity()
+    print("[search-perf-smoke] OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

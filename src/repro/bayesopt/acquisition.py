@@ -65,3 +65,27 @@ ACQUISITIONS = {
     "pi": probability_of_improvement,
     "lcb": lower_confidence_bound,
 }
+
+
+def score_candidates(
+    gp,
+    U: np.ndarray,
+    acquisition: str,
+    best: float,
+    *,
+    xi: float = 0.01,
+    kappa: float = 2.0,
+) -> np.ndarray:
+    """Acquisition scores for an ``(N, D)`` candidate matrix in one shot.
+
+    One batched GP posterior evaluation covers the whole sweep — the
+    per-candidate cost is a dot product against the shared triangular
+    solve, so scoring 1k candidates costs barely more than scoring one.
+    This is the single entry point the BO loop (and the candidate-sweep
+    acquisition optimizer) uses; per-point scoring is just ``N == 1``.
+    """
+    fn = ACQUISITIONS[acquisition]
+    mu, sd = gp.predict(np.atleast_2d(U), return_std=True)
+    if acquisition == "lcb":
+        return fn(mu, sd, best, kappa=kappa)
+    return fn(mu, sd, best, xi=xi)

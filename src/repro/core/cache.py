@@ -59,8 +59,10 @@ class WindowCache:
         entry = self._store.get(n)
         if entry is not None:
             _metrics.counter("cache.windows.hits").inc()
+            self._publish_hit_rate()
             return entry
         _metrics.counter("cache.windows.misses").inc()
+        self._publish_hit_rate()
         X_train, y_train = make_windows(self._scaled[: self._i_train_end], n)
         if (
             self._max_train_windows is not None
@@ -74,6 +76,21 @@ class WindowCache:
         entry = (X_train, y_train, X_val, y_val)
         self._store[n] = entry
         return entry
+
+    @staticmethod
+    def _publish_hit_rate() -> None:
+        """Keep ``cache.windows.hit_rate`` current after every lookup.
+
+        The process-lifetime ratio of the hit/miss counters: a low value
+        on a long search means the space's integer rounding is spreading
+        trials across many distinct history lengths and the windowing
+        cost is being paid repeatedly.
+        """
+        hits = _metrics.counter("cache.windows.hits").value
+        misses = _metrics.counter("cache.windows.misses").value
+        total = hits + misses
+        if total > 0:
+            _metrics.gauge("cache.windows.hit_rate").set(hits / total)
 
     def __len__(self) -> int:
         return len(self._store)

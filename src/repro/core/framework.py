@@ -80,8 +80,17 @@ def _evaluate_trial(
     process: no shared window cache (each worker builds its own
     windows), and the returned model travels back via pickle with its
     inference scratch dropped.
+
+    ``scaled`` / ``raw`` may arrive as :class:`repro.parallel.SharedArray`
+    handles — zero-copy views of the parent's shared-memory pages —
+    instead of pickled copies; :func:`repro.parallel.as_ndarray`
+    normalizes both cases.
     """
-    return evaluator.evaluate(scaled, raw, scaler, config, i_train_end, i_val_end)
+    from repro.parallel import as_ndarray
+
+    return evaluator.evaluate(
+        as_ndarray(scaled), as_ndarray(raw), scaler, config, i_train_end, i_val_end
+    )
 
 
 @dataclass
@@ -321,25 +330,41 @@ class LoadDynamics:
                 from repro.parallel import effective_workers
 
                 workers = 1 if n_workers is None else effective_workers(n_workers)
+                if n_workers is not None:
+                    # Record the clamp even when it forces the serial branch
+                    # below, where parallel_map (which normally sets these)
+                    # is never reached.
+                    _metrics.gauge("parallel.workers_requested").set(
+                        float(n_workers)
+                    )
+                    _metrics.gauge("parallel.workers_effective").set(
+                        float(workers)
+                    )
                 if workers <= 1:
                     driver.run(objective, cfg.max_iters - n_replayed)
                 else:
-                    raw_eval = functools.partial(
-                        _evaluate_trial,
-                        evaluator,
-                        scaled,
-                        s,
-                        scaler,
-                        i_train_end,
-                        i_val_end,
-                    )
-                    driver.run_parallel(
-                        raw_eval,
-                        settle,
-                        memo,
-                        cfg.max_iters - n_replayed,
-                        workers,
-                    )
+                    from repro.parallel import share_arrays
+
+                    # The scaled and raw traces are identical for every
+                    # trial: publish them once in shared memory so each
+                    # batch task pickles a page handle, not the data.
+                    with share_arrays(scaled, s) as (scaled_h, s_h):
+                        raw_eval = functools.partial(
+                            _evaluate_trial,
+                            evaluator,
+                            scaled_h,
+                            s_h,
+                            scaler,
+                            i_train_end,
+                            i_val_end,
+                        )
+                        driver.run_parallel(
+                            raw_eval,
+                            settle,
+                            memo,
+                            cfg.max_iters - n_replayed,
+                            workers,
+                        )
             finally:
                 if journal_obj is not None:
                     journal_obj.close()
@@ -475,6 +500,8 @@ class LoadDynamics:
             kwargs.setdefault("n_initial", self.settings.n_initial)
             kwargs.setdefault("acquisition", self.settings.acquisition)
             kwargs.setdefault("seed", self.settings.seed)
+            kwargs.setdefault("incremental", self.settings.incremental_surrogate)
+            kwargs.setdefault("reopt_every", self.settings.surrogate_reopt_every)
         elif "seed" not in kwargs and hasattr(self.optimizer_cls, "__init__"):
             # Random search takes a seed; grid search takes none of ours.
             try:

@@ -20,14 +20,21 @@ standardized internally so kernel-variance priors stay workload-agnostic
 from __future__ import annotations
 
 import numpy as np
-from scipy.linalg import cho_solve, cholesky, solve_triangular
+from scipy.linalg import cho_solve, cholesky, get_lapack_funcs, solve_triangular
 from scipy.optimize import minimize
 
 from repro.gp.kernels import RBF, Kernel
+from repro.obs import metrics as _metrics
 
 __all__ = ["GaussianProcessRegressor"]
 
 _JITTERS = (0.0, 1e-10, 1e-8, 1e-6, 1e-4, 1e-2)
+
+#: Relative floor for the Schur complement in a rank-1 Cholesky append;
+#: below it the grown factor would be numerically rank-deficient and
+#: :meth:`GaussianProcessRegressor.update` falls back to a full
+#: refactorization with jitter escalation.
+_SCHUR_FLOOR = 1e-10
 
 
 def _chol_with_jitter(K: np.ndarray) -> tuple[np.ndarray, float]:
@@ -60,6 +67,10 @@ class GaussianProcessRegressor:
     n_restarts:
         Extra random restarts for the optimizer (first start is the
         current kernel configuration).
+    refactor_every:
+        Rank-1 :meth:`update` appends are followed by an *exact* full
+        refactorization every this many updates, bounding accumulated
+        float drift in the grown Cholesky factor.
     """
 
     def __init__(
@@ -70,25 +81,38 @@ class GaussianProcessRegressor:
         optimize_noise: bool = True,
         n_restarts: int = 2,
         seed: int = 0,
+        refactor_every: int = 50,
     ):
         if noise <= 0:
             raise ValueError("noise must be positive")
+        if refactor_every < 1:
+            raise ValueError("refactor_every must be >= 1")
         self.kernel = kernel if kernel is not None else RBF()
         self.noise = float(noise)
         self.optimize = bool(optimize)
         self.optimize_noise = bool(optimize_noise)
         self.n_restarts = int(n_restarts)
+        self.refactor_every = int(refactor_every)
         self._rng = np.random.default_rng(seed)
         self._X: np.ndarray | None = None
+        self._y_raw: np.ndarray | None = None
         self._y_mean = 0.0
         self._y_std = 1.0
         self._L: np.ndarray | None = None
         self._alpha: np.ndarray | None = None
+        #: Absolute diagonal jitter baked into the current factor — a
+        #: rank-1 append must extend the *same* regularized matrix.
+        self._jitter = 0.0
+        self._updates_since_refactor = 0
 
     # ------------------------------------------------------------------
     @property
     def is_fitted(self) -> bool:
         return self._L is not None
+
+    @property
+    def n_observations(self) -> int:
+        return 0 if self._X is None else int(self._X.shape[0])
 
     def _pack_theta(self) -> np.ndarray:
         t = self.kernel.theta
@@ -133,7 +157,17 @@ class GaussianProcessRegressor:
         )
         if not eval_gradient:
             return lml
-        Kinv = cho_solve((L, True), np.eye(n))
+        # K^-1 from the existing triangular factor via LAPACK ?potri
+        # (~n^3/3) instead of cho_solve against a dense identity (two
+        # full triangular solves, ~n^3).  The full inverse is genuinely
+        # consumed here — every dK/dtheta_j is dense — while the noise
+        # gradient below reads only its trace (the W diagonal).
+        potri, = get_lapack_funcs(("potri",), (L,))
+        Kinv, info = potri(L, lower=1)
+        if info == 0:
+            Kinv = np.tril(Kinv) + np.tril(Kinv, -1).T
+        else:  # pragma: no cover - potri failure is a broken factor
+            Kinv = cho_solve((L, True), np.eye(n))
         W = np.outer(alpha, alpha) - Kinv
         grads_K = self.kernel.gradients(X)
         g = 0.5 * np.einsum("ij,tij->t", W, grads_K)
@@ -159,17 +193,103 @@ class GaussianProcessRegressor:
         if X.shape[0] == 0:
             raise ValueError("cannot fit a GP on zero observations")
         self._X = X
+        self._y_raw = y.copy()
+        self._restandardize()
+
+        if self.optimize and X.shape[0] >= 2:
+            self._optimize_hyperparameters()
+
+        self._refactor()
+        return self
+
+    def _restandardize(self) -> None:
+        """Recompute target standardization over the full raw targets."""
+        y = self._y_raw
         self._y_mean = float(np.mean(y))
         std = float(np.std(y))
         self._y_std = std if std > 1e-12 else 1.0
         self._y_standardized = (y - self._y_mean) / self._y_std
 
-        if self.optimize and X.shape[0] >= 2:
-            self._optimize_hyperparameters()
-
-        K = self.kernel(X) + self.noise * np.eye(X.shape[0])
-        self._L, _ = _chol_with_jitter(K)
+    def _refactor(self) -> None:
+        """Exact O(n^3) factorization of the current training set."""
+        K = self.kernel(self._X) + self.noise * np.eye(self._X.shape[0])
+        self._L, self._jitter = _chol_with_jitter(K)
         self._alpha = cho_solve((self._L, True), self._y_standardized)
+        self._updates_since_refactor = 0
+        _metrics.counter("gp.refit.full").inc()
+
+    # ------------------------------------------------------------------
+    def update(self, x: np.ndarray, y: float) -> "GaussianProcessRegressor":
+        """Incorporate one new observation with a rank-1 Cholesky append.
+
+        Grows the lower factor ``L`` by one row — a cross-covariance
+        column, one triangular solve, and a Schur complement — so the
+        cost is O(n^2) instead of the O(n^3) refactorization a full
+        :meth:`fit` performs.  Target standardization and ``alpha`` are
+        recomputed against the full raw target vector (also O(n^2)), so
+        the resulting posterior matches a from-scratch ``fit`` with the
+        same kernel hyperparameters (``optimize=False``) to round-off.
+        Hyperparameters are **not** re-optimized here; callers that want
+        re-optimization periodically call :meth:`fit` instead.
+
+        Falls back to a full refactorization (with jitter escalation)
+        when the Schur complement is not safely positive, and performs
+        an exact refactorization every ``refactor_every`` updates to
+        bound float drift.  The ``gp.refit.rank1`` / ``gp.refit.full``
+        counters record which path ran.
+        """
+        if not self.is_fitted:
+            raise RuntimeError("call fit() before update()")
+        x = np.asarray(x, dtype=np.float64)
+        x2d = x[None, :] if x.ndim == 1 else x
+        if x2d.shape != (1, self._X.shape[1]):
+            raise ValueError(
+                f"update() takes one row of {self._X.shape[1]} features, "
+                f"got shape {x.shape}"
+            )
+        X_old, L_old, n = self._X, self._L, self._X.shape[0]
+        self._X = np.vstack([X_old, x2d])
+        self._y_raw = np.append(self._y_raw, float(y))
+        self._restandardize()
+
+        if self._updates_since_refactor + 1 >= self.refactor_every:
+            self._refactor()
+            return self
+
+        ks = self.kernel(X_old, x2d)  # (n, 1)
+        # Direct LAPACK calls (the exact routines scipy's
+        # solve_triangular / cho_solve dispatch to, so numerics are
+        # bit-identical) — the wrappers' validation layers cost more
+        # than the O(n^2) solves themselves at BO-history sizes.
+        trtrs, potrs = get_lapack_funcs(("trtrs", "potrs"), (L_old,))
+        cs, info = trtrs(L_old, ks, lower=1)
+        if info != 0:
+            self._refactor()
+            return self
+        c = cs.ravel()
+        knn = float(self.kernel.diag(x2d)[0]) + self.noise + self._jitter
+        d2 = knn - float(c @ c)
+        if not np.isfinite(d2) or d2 <= _SCHUR_FLOOR * knn:
+            # The appended point makes the factor numerically rank
+            # deficient (near-duplicate row, collapsed lengthscale);
+            # rebuild exactly, escalating jitter if needed.
+            self._refactor()
+            return self
+
+        # Fortran order so the LAPACK calls here (and on the next
+        # append) bind the factor directly instead of copying it.
+        L = np.zeros((n + 1, n + 1), order="F")
+        L[:n, :n] = L_old
+        L[n, :n] = c
+        L[n, n] = np.sqrt(d2)
+        self._L = L
+        alpha, info = potrs(L, self._y_standardized, lower=1)
+        if info != 0:  # pragma: no cover - factor was just validated
+            self._refactor()
+            return self
+        self._alpha = alpha
+        self._updates_since_refactor += 1
+        _metrics.counter("gp.refit.rank1").inc()
         return self
 
     def _optimize_hyperparameters(self) -> None:

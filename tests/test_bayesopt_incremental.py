@@ -1,0 +1,175 @@
+"""Incremental-surrogate and sweep-acquisition BO modes.
+
+The perf pass adds two opt-in fast paths to :class:`BayesianOptimizer`:
+a persistent surrogate updated rank-1 at ``tell`` time (full hyperopt
+refits only every ``reopt_every`` tells) and a vectorized Sobol-sweep
+acquisition optimizer.  These tests pin the refit schedule exactly
+(counter arithmetic — the same contract the CI search-perf smoke
+asserts), both modes' internal determinism, and that constant-liar
+batching never leaks lie observations into the persistent GP.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bayesopt import BayesianOptimizer
+from repro.core.config import search_space_for
+from repro.obs import metrics as _metrics
+
+
+def _counter(name: str) -> float:
+    return _metrics.counter(name).value
+
+
+def _objective(space):
+    def fn(config: dict) -> float:
+        u = space.to_unit(config)
+        return float(np.sum((u - 0.42) ** 2) + 0.03 * np.sum(np.cos(7.0 * u)))
+
+    return fn
+
+
+def _run(n_iters=12, seed=3, **kwargs) -> BayesianOptimizer:
+    space = search_space_for("default", "paper")
+    opt = BayesianOptimizer(space, seed=seed, **kwargs)
+    opt.run(_objective(space), n_iters)
+    return opt
+
+
+class TestConstruction:
+    def test_auto_resolves_by_mode(self):
+        space = search_space_for("default", "paper")
+        assert BayesianOptimizer(space).acq_optimizer == "polish"
+        assert BayesianOptimizer(space, incremental=True).acq_optimizer == "sweep"
+        assert (
+            BayesianOptimizer(space, incremental=True, acq_optimizer="polish")
+            .acq_optimizer
+            == "polish"
+        )
+
+    def test_validation(self):
+        space = search_space_for("default", "paper")
+        with pytest.raises(ValueError):
+            BayesianOptimizer(space, acq_optimizer="newton")
+        with pytest.raises(ValueError):
+            BayesianOptimizer(space, incremental=True, reopt_every=0)
+
+
+class TestIncrementalSchedule:
+    def test_refit_schedule_exact(self):
+        """full/rank-1 counts follow the ``reopt_every`` arithmetic.
+
+        With ``n_initial=2`` and 10 trials, trials 2..9 are GP-backed
+        (8 suggests, 8 absorbing tells).  At ``reopt_every=3`` every
+        third GP-backed tell drops the surrogate instead of updating
+        it, so: full fits at trials 2, 5, 8 (=3), rank-1 updates on the
+        other six tells, surrogate reuse on the five suggests that
+        found a live in-sync GP.
+        """
+        full0 = _counter("gp.refit.full")
+        rank0 = _counter("gp.refit.rank1")
+        reuse0 = _counter("bo.surrogate.reused")
+        _run(n_iters=10, n_initial=2, incremental=True, reopt_every=3)
+        assert _counter("gp.refit.full") == full0 + 3
+        assert _counter("gp.refit.rank1") == rank0 + 6
+        assert _counter("bo.surrogate.reused") == reuse0 + 5
+
+    def test_incremental_run_deterministic(self):
+        a = _run(incremental=True, reopt_every=4)
+        b = _run(incremental=True, reopt_every=4)
+        assert [r.config for r in a.history] == [r.config for r in b.history]
+        assert [r.value for r in a.history] == [r.value for r in b.history]
+
+    def test_surrogate_stays_in_sync(self):
+        opt = _run(n_iters=11, incremental=True, reopt_every=50)
+        assert opt._gp is not None
+        assert opt._gp.n_observations == len(opt._y)
+
+    def test_external_tell_absorbs_then_desync_invalidates(self):
+        opt = _run(n_iters=9, incremental=True, reopt_every=50)
+        assert opt._gp is not None
+        space = opt.space
+        # An external (never-suggested) tell is still one new
+        # observation: a normal rank-1 absorb keeps the GP in sync.
+        extern = space.sample(np.random.default_rng(99), 1)[0]
+        opt.tell(extern, 1.23)
+        assert opt._gp is not None
+        assert opt._gp.n_observations == len(opt._y)
+        # A replay-style desync (history grew behind the GP's back)
+        # must drop the surrogate, never guess.
+        opt._X.append(space.to_unit(extern))
+        opt._y.append(0.5)
+        opt.tell(space.sample(np.random.default_rng(7), 1)[0], 0.9)
+        assert opt._gp is None
+
+    def test_batch_lies_never_enter_persistent_gp(self):
+        space = search_space_for("default", "paper")
+        opt = BayesianOptimizer(
+            space, seed=5, n_initial=2, incremental=True, reopt_every=50
+        )
+        fn = _objective(space)
+        for _ in range(6):
+            c = opt.suggest()
+            opt.tell(c, fn(c))
+        assert opt._gp is not None
+        configs = opt.suggest_batch(3)
+        assert len(configs) == 3
+        # Lies were appended and popped; the persistent GP must not have
+        # absorbed them.
+        assert opt._gp is None or opt._gp.n_observations <= len(opt._y)
+        for c in configs:
+            opt.tell(c, fn(c))
+        assert len(opt._y) == 9
+        if opt._gp is not None:
+            assert opt._gp.n_observations <= len(opt._y)
+        # The loop keeps producing valid suggestions afterwards.
+        c = opt.suggest()
+        opt.tell(c, fn(c))
+        assert len(opt.history) == 10
+
+    def test_restore_search_state_drops_surrogate(self):
+        opt = _run(n_iters=9, incremental=True, reopt_every=50)
+        assert opt._gp is not None
+        opt.restore_search_state(opt.search_state())
+        assert opt._gp is None
+
+
+class TestSweepAcquisition:
+    def test_sweep_run_deterministic(self):
+        a = _run(acq_optimizer="sweep")
+        b = _run(acq_optimizer="sweep")
+        assert [r.config for r in a.history] == [r.config for r in b.history]
+
+    def test_sweep_improves_over_random_start(self):
+        opt = _run(n_iters=16, acq_optimizer="sweep")
+        random_best = min(r.value for r in opt.history[: opt.n_initial])
+        assert opt.best_value <= random_best
+
+    def test_sweep_emits_candidate_gauge(self):
+        _run(n_iters=8, acq_optimizer="sweep")
+        # Sobol sweep (1024) + incumbent-local pool (256) + batched
+        # polish rounds: the gauge records every scored candidate.
+        assert _metrics.gauge("bo.acquisition.candidates").value >= 1024 + 256
+
+    def test_polish_emits_candidate_gauge(self):
+        _run(n_iters=8, acq_optimizer="polish")
+        assert _metrics.gauge("bo.acquisition.candidates").value >= 1024 + 256
+
+    def test_sweep_with_non_power_of_two_candidates(self):
+        opt = _run(n_iters=8, acq_optimizer="sweep", n_candidates=300)
+        assert len(opt.history) == 8
+
+    def test_sweep_honors_exclusions(self):
+        space = search_space_for("default", "paper")
+        opt = BayesianOptimizer(
+            space, seed=11, n_initial=2, incremental=True
+        )
+        banned = {"history_len"}
+        opt.set_excluded(lambda c: c["history_len"] > 40)
+        fn = _objective(space)
+        for _ in range(8):
+            c = opt.suggest()
+            assert c["history_len"] <= 40, banned
+            opt.tell(c, fn(c))
