@@ -3,15 +3,51 @@
 The paper's first two figures just *display* the five traces; the
 checkable content is their qualitative statistics (magnitude, burstiness,
 seasonality).  This bench regenerates those rows and times trace
-generation + aggregation (the substrate every experiment touches).
+generation + aggregation (the substrate every experiment touches), plus
+the multichannel ``mv`` generator the multivariate pipeline runs on.
+Generation rates land in ``bench.traces.*`` gauges dumped to
+``BENCH_traces.json`` (informational — not ratio-checked by
+``scripts/check_bench.py``).
 """
 
 from __future__ import annotations
 
-import numpy as np
+import json
+import os
+import time
+from pathlib import Path
 
+import numpy as np
+import pytest
+
+from repro import obs
 from repro.experiments import format_table
-from repro.traces import TRACE_NAMES, get_trace
+from repro.traces import TRACE_NAMES, correlated_trace, get_trace
+
+ARTIFACT = Path(
+    os.environ.get(
+        "REPRO_BENCH_ARTIFACT_DIR", Path(__file__).resolve().parent.parent
+    )
+) / "BENCH_traces.json"
+
+
+@pytest.fixture(scope="module", autouse=True)
+def bench_artifact():
+    """Write the ``bench.traces.*`` metrics to BENCH_traces.json."""
+    yield
+    report = obs.summary()
+    metrics = {
+        name: snap
+        for name, snap in report["metrics"].items()
+        if name.startswith("bench.traces.")
+    }
+    if not metrics:
+        return
+    ARTIFACT.write_text(
+        json.dumps({"schema": report["schema"], "metrics": metrics}, indent=2)
+        + "\n",
+        encoding="utf-8",
+    )
 
 
 def _shape_rows() -> list[dict]:
@@ -64,3 +100,30 @@ def test_trace_generation_throughput(benchmark):
 
     jars = benchmark(build)
     assert len(jars) == 7 * 48
+
+
+def test_multichannel_generation_throughput(benchmark):
+    """Microbench: the D=3 correlated generator + per-channel aggregation.
+
+    Emits ``bench.traces.mv_minutes_per_s`` — minutes of 3-channel trace
+    generated per wall-second — so multivariate-substrate PRs can see
+    whether they made trace generation slower.
+    """
+    days, channels = 7, ("requests", "cpu", "memory")
+
+    def build():
+        return correlated_trace(days=days, seed=123, channels=channels).at_interval(30)
+
+    t0 = time.perf_counter()
+    jars = benchmark(build)
+    elapsed = time.perf_counter() - t0
+    assert jars.shape == (days * 48, len(channels))
+    assert np.all(np.isfinite(jars))
+    # Cross-channel coupling must survive aggregation (the point of 'mv').
+    corr = float(np.corrcoef(jars[:, 0], jars[:, 1])[0, 1])
+    assert corr > 0.5, f"driver/follower correlation collapsed: {corr:.3f}"
+    obs.gauge("bench.traces.mv_channels").set(float(len(channels)))
+    obs.gauge("bench.traces.mv_minutes_per_s").set(
+        days * 1440.0 * max(benchmark.stats.stats.rounds, 1) / max(elapsed, 1e-9)
+    )
+    obs.gauge("bench.traces.mv_channel_corr").set(corr)

@@ -19,7 +19,10 @@ call time, not just import time):
   off limits — monitors consume observations, they never reach back
   into the layers that produce them;
 * ``repro.models`` and ``repro.serving`` must not import ``repro.cli``
-  or ``repro.experiments`` — they are library code, not entry points.
+  or ``repro.experiments`` — they are library code, not entry points;
+* ``repro.traces`` is substrate too: no ``repro.core``/``repro.models``
+  or entry points (its lazy hooks into ``repro.serving`` sanitization
+  and ``repro.resilience`` fault sites are the sanctioned exceptions).
 
 Exit status 0 when clean; 1 with one line per violation otherwise.
 Run directly or via ``scripts/ci.sh``.
@@ -39,6 +42,7 @@ _FORBIDDEN: dict[str, tuple[str, ...]] = {
     "gp": ("repro.core", "repro.models", "repro.cli", "repro.experiments"),
     "models": ("repro.cli", "repro.experiments"),
     "serving": ("repro.cli", "repro.experiments"),
+    "traces": ("repro.core", "repro.models", "repro.cli", "repro.experiments"),
     "obs": (
         "repro.core",
         "repro.models",

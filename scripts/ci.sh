@@ -32,6 +32,17 @@ echo "== model-family smoke (non-default family end to end) =="
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro.cli fit gl-30m \
     --budget tiny --family gru --max-iters 2 --epochs 3
 
+echo "== multivariate smoke (D=3 correlated trace end to end) =="
+MV_DIR="$(mktemp -d)"
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro.cli fit mv-30m \
+    --budget tiny --family lstm --max-iters 2 --epochs 2 \
+    --channels requests,cpu,memory --target-channel 1 \
+    --save "$MV_DIR/model"
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro.cli simulate mv-30m \
+    --guarded --monitor --repair interpolate --target-channel 1 \
+    --model-dir "$MV_DIR/model" --start-frac 0.9
+rm -rf "$MV_DIR"
+
 echo "== serving chaos (guarded simulate must survive injected faults) =="
 SERVE_DIR="$(mktemp -d)"
 BENCH_DIR="$(mktemp -d)"

@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Record pre-refactor D=1 pipeline behaviour for bitwise equivalence tests.
+
+The multivariate refactor threads a channel dimension D through
+scaling, windowing, caching, inference, and serving while promising the
+default D=1 path stays *bit-for-bit* unchanged.  This script freezes
+the pre-refactor behaviour of the three stages that promise covers:
+
+* ``prepare_data`` — scaled series, split indices, scaler state, and
+  the window matrices for two history lengths;
+* a seeded ``LSTMRegressor.forward_inference`` pass (the fast path);
+* an end-to-end seeded tiny fit's ``predict_series``/``predict_next``
+  outputs over the test split.
+
+Float arrays are stored as hex-encoded little-endian float64 bytes so
+the regression test (``tests/test_equivalence_multivariate.py``)
+compares raw bits, not values-within-tolerance.  Re-running this script
+under any refactor that claims D=1 equivalence must reproduce
+``tests/data/equivalence_pipeline.json`` byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import FrameworkSettings, LoadDynamics, search_space_for  # noqa: E402
+from repro.core.data import prepare_data  # noqa: E402
+from repro.nn.network import LSTMRegressor  # noqa: E402
+from repro.obs.logging import get_logger  # noqa: E402
+
+logger = get_logger("scripts.fixtures")
+
+MAX_ITERS = 2
+WINDOW_LENGTHS = (3, 8)
+
+
+def fixture_series() -> np.ndarray:
+    """The conftest ``sine_series``: seeded sinusoid + noise, length 240."""
+    t = np.arange(240)
+    rng = np.random.default_rng(7)
+    return 100.0 + 40.0 * np.sin(2 * np.pi * t / 24.0) + rng.normal(0, 2.0, 240)
+
+
+def hex64(a: np.ndarray) -> str:
+    """Hex dump of a float64 array's little-endian bytes (bit-exact)."""
+    return np.ascontiguousarray(np.asarray(a, dtype="<f8")).tobytes().hex()
+
+
+def record_prepare_data(series: np.ndarray) -> dict:
+    prepared = prepare_data(series, FrameworkSettings.tiny())
+    windows = {}
+    for n in WINDOW_LENGTHS:
+        X_train, y_train, X_val, y_val = prepared.window_cache.get(n)
+        windows[str(n)] = {
+            "X_train_shape": list(X_train.shape),
+            "X_train": hex64(X_train),
+            "y_train": hex64(y_train),
+            "X_val_shape": list(X_val.shape),
+            "X_val": hex64(X_val),
+            "y_val": hex64(y_val),
+        }
+    return {
+        "i_train_end": prepared.i_train_end,
+        "i_val_end": prepared.i_val_end,
+        "scaler_state": prepared.scaler.state(),
+        "scaled": hex64(prepared.scaled),
+        "windows": windows,
+    }
+
+
+def record_forward_inference() -> dict:
+    model = LSTMRegressor(hidden_size=8, num_layers=2, seed=11)
+    rng = np.random.default_rng(23)
+    x = rng.uniform(0.0, 1.0, size=(17, 12, 1))
+    out = model.predict(x)
+    return {
+        "hidden_size": 8,
+        "num_layers": 2,
+        "seed": 11,
+        "batch_shape": list(x.shape),
+        "input_seed": 23,
+        "output": hex64(out),
+    }
+
+
+def record_fit_predictions(series: np.ndarray) -> dict:
+    ld = LoadDynamics(
+        space=search_space_for("default", "tiny"),
+        settings=FrameworkSettings.tiny(max_iters=MAX_ITERS),
+    )
+    predictor, report = ld.fit(series)
+    i_test = int(round(0.8 * series.size))
+    preds = predictor.predict_series(series, i_test)
+    return {
+        "max_iters": MAX_ITERS,
+        "best_hyperparameters": report.best_hyperparameters.as_dict(),
+        "i_test": i_test,
+        "predict_series": hex64(preds),
+        "predict_next": hex64(np.array([predictor.predict_next(series[:i_test])])),
+    }
+
+
+def main() -> int:
+    data_dir = Path(__file__).resolve().parent.parent / "tests" / "data"
+    data_dir.mkdir(parents=True, exist_ok=True)
+    series = fixture_series()
+    fixture = {
+        "prepare_data": record_prepare_data(series),
+        "forward_inference": record_forward_inference(),
+        "fit": record_fit_predictions(series),
+    }
+    out = data_dir / "equivalence_pipeline.json"
+    out.write_text(json.dumps(fixture, indent=2) + "\n")
+    logger.info("pipeline fixture written to %s", out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -64,10 +64,18 @@ def walk_forward(
     k-th step (CloudInsight rebuilds every 5 intervals; pure smoothing
     models can use a large value since fit is a no-op).
 
-    Returns the predictions aligned with ``series[start:end]``.
+    Returns the predictions aligned with ``series[start:end]``.  A 2-D
+    ``(steps, D)`` series walks the full multivariate history into the
+    predictor; the persistence rescue reads the predictor's target
+    channel.
     """
-    series = np.asarray(series, dtype=np.float64).ravel()
-    n = series.size
+    series = np.asarray(series, dtype=np.float64)
+    if series.ndim == 2:
+        target = series[:, int(getattr(predictor, "target_channel", 0) or 0)]
+    else:
+        series = series.ravel()
+        target = series
+    n = int(series.shape[0])
     end = n if end is None else end
     if not 0 < start <= end <= n:
         raise ValueError(f"invalid window [{start}, {end}) for series of length {n}")
@@ -83,7 +91,7 @@ def walk_forward(
         if not np.isfinite(p):
             # Persistence rescue; a non-finite last value (unsanitized
             # trace) must not leak through as the "rescue".
-            last = float(history[-1])
+            last = float(target[i - 1])
             p = last if np.isfinite(last) else 0.0
         if clip_nonnegative:
             p = max(p, 0.0)

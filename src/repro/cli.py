@@ -61,7 +61,14 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("families", help="list the registered model families")
 
     fit = sub.add_parser("fit", help="run the LoadDynamics workflow on a configuration")
-    fit.add_argument("config", help="workload configuration key, e.g. gl-30m")
+    fit.add_argument("config", help="workload configuration key, e.g. gl-30m "
+                                    "(or mv-<interval>m for the multivariate trace)")
+    fit.add_argument("--channels", default=None, metavar="NAMES",
+                     help="comma-separated channel names for the mv trace "
+                          "(e.g. requests,cpu,memory)")
+    fit.add_argument("--target-channel", type=int, default=0, metavar="D",
+                     help="which channel of a multivariate trace to forecast "
+                          "(default 0)")
     fit.add_argument("--budget", default="reduced", choices=("paper", "reduced", "tiny"))
     fit.add_argument("--family", default="lstm", metavar="NAME",
                      help="model family the trials train (see `repro families`; "
@@ -93,7 +100,13 @@ def build_parser() -> argparse.ArgumentParser:
         "simulate",
         help="serve a predictor online through the autoscaler case study",
     )
-    sim.add_argument("config", help="workload configuration key, e.g. gl-30m")
+    sim.add_argument("config", help="workload configuration key, e.g. gl-30m "
+                                    "(or mv-<interval>m for the multivariate trace)")
+    sim.add_argument("--channels", default=None, metavar="NAMES",
+                     help="comma-separated channel names for the mv trace")
+    sim.add_argument("--target-channel", type=int, default=0, metavar="D",
+                     help="which channel of a multivariate trace to forecast "
+                          "(default 0)")
     sim.add_argument("--guarded", action="store_true",
                      help="wrap the predictor in repro.serving.GuardedPredictor "
                           "(output validation, fallback chain, circuit breaker)")
@@ -103,6 +116,10 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--adaptive", action="store_true",
                      help="serve the self-healing AdaptiveLoadDynamics loop "
                           "(drift-triggered refits) instead of a frozen model")
+    sim.add_argument("--refit-on-drift", action="store_true",
+                     help="implies --adaptive; refit only when a CUSUM drift "
+                          "detector fires on the served errors, instead of "
+                          "the fixed refit-every-k cadence")
     sim.add_argument("--repair", default=None,
                      choices=("interpolate", "clip", "ffill"),
                      help="sanitize the trace with this repair policy before "
@@ -203,14 +220,40 @@ def _cmd_families() -> int:
     return 0
 
 
+def _resolve_configuration(key: str):
+    """A Table I key, or ``mv-<interval>m`` for the multivariate trace.
+
+    The ``mv`` trace is deliberately outside the paper's 14
+    configurations, so it resolves here instead of the registry tuple.
+    """
+    from repro.traces import get_configuration
+    from repro.traces.loader import WorkloadConfig
+
+    trace, sep, rest = key.partition("-")
+    if trace == "mv" and sep and rest.endswith("m") and rest[:-1].isdigit():
+        return WorkloadConfig("mv", int(rest[:-1]))
+    return get_configuration(key)
+
+
+def _load_series(args):
+    """Materialize the (possibly multivariate) series an args.config names."""
+    cfg = _resolve_configuration(args.config)
+    channels = getattr(args, "channels", None)
+    kwargs = {}
+    if channels:
+        kwargs["channels"] = tuple(
+            s.strip() for s in channels.split(",") if s.strip()
+        )
+    return cfg, cfg.load(**kwargs)
+
+
 def _cmd_fit(args) -> int:
     from repro.core import FrameworkSettings, LoadDynamics, search_space_for
-    from repro.traces import get_configuration
 
     if args.resume and not args.journal:
         print("error: --resume requires --journal", file=sys.stderr)
         return 2
-    series = get_configuration(args.config).load()
+    _cfg, series = _load_series(args)
     trace = args.config.split("-")[0]
     ld = LoadDynamics(
         space=search_space_for(
@@ -224,7 +267,8 @@ def _cmd_fit(args) -> int:
         family=args.family,
     )
     predictor, report = ld.fit(
-        series, journal=args.journal, resume=args.resume, n_workers=args.n_workers
+        series, journal=args.journal, resume=args.resume,
+        n_workers=args.n_workers, target_channel=args.target_channel,
     )
     hp = report.best_hyperparameters
     tel = report.telemetry
@@ -234,6 +278,9 @@ def _cmd_fit(args) -> int:
         tel.get("train_seconds_total", 0.0), report.total_seconds,
     )
     print(f"workload          : {args.config} ({len(series)} intervals)")
+    if series.ndim == 2:
+        print(f"channels          : {series.shape[1]} "
+              f"(forecasting channel {args.target_channel})")
     print(f"family            : {ld.family.name}")
     print(f"trials            : {report.n_trials} ({report.n_infeasible} infeasible)")
     if report.n_resumed:
@@ -255,12 +302,14 @@ def _cmd_fit(args) -> int:
 
 def _cmd_predict(args) -> int:
     from repro.core import LoadDynamicsPredictor
-    from repro.traces import get_configuration
 
     predictor = LoadDynamicsPredictor.load(args.model_dir)
-    series = get_configuration(args.config).load()
+    series = _resolve_configuration(args.config).load()
     value = predictor.predict_next(series)
-    print(f"last observed JAR : {series[-1]:,.0f}")
+    last = (
+        series[-1, predictor.target_channel] if series.ndim == 2 else series[-1]
+    )
+    print(f"last observed JAR : {last:,.0f}")
     print(f"predicted next JAR: {value:,.0f}")
     return 0
 
@@ -280,11 +329,12 @@ def _cmd_simulate(args) -> int:
         default_fallbacks,
         serve_and_simulate,
     )
-    from repro.traces import get_configuration
 
     if not 0.0 < args.start_frac < 1.0:
         print("error: --start-frac must be in (0, 1)", file=sys.stderr)
         return 2
+    if args.refit_on_drift:
+        args.adaptive = True
     if args.adaptive and args.model_dir:
         print("error: --adaptive and --model-dir are mutually exclusive",
               file=sys.stderr)
@@ -308,8 +358,7 @@ def _cmd_simulate(args) -> int:
             )
         monitor = ForecastMonitor(slo=slo)
 
-    cfg = get_configuration(args.config)
-    series = cfg.load()
+    cfg, series = _load_series(args)
     if args.repair:
         series, report = TraceSanitizer(policy=args.repair).sanitize(series)
         print(f"sanitizer         : {report.summary()}")
@@ -330,9 +379,20 @@ def _cmd_simulate(args) -> int:
         # ``drift@serve.predict`` faults, which only shift the *served*
         # forecast — triggers refits, not just the internal error rule.
         refit_on_drift = monitor.detectors[0] if monitor is not None else None
+        if args.refit_on_drift and refit_on_drift is None:
+            # --refit-on-drift without a monitor: wire in a CUSUM
+            # detector of its own so refits are drift-gated rather than
+            # rolling-window-threshold gated.
+            from repro.obs.monitor.drift import CusumDetector
+
+            refit_on_drift = CusumDetector()
         predictor = AdaptiveLoadDynamics(
-            space=space, settings=settings, refit_on_drift=refit_on_drift
+            space=space, settings=settings, refit_on_drift=refit_on_drift,
+            target_channel=args.target_channel,
         )
+        if args.refit_on_drift:
+            print(f"refit trigger     : {getattr(refit_on_drift, 'name', 'cusum')} "
+                  "drift detector (replaces fixed refit cadence)")
     elif args.model_dir:
         if args.guarded:
             # The guarded load shields against a corrupted directory by
@@ -344,7 +404,7 @@ def _cmd_simulate(args) -> int:
             predictor = LoadDynamicsPredictor.load(args.model_dir)
     else:
         predictor, fit_report = LoadDynamics(space=space, settings=settings).fit(
-            series[:start]
+            series[:start], target_channel=args.target_channel
         )
         if fit_report.degraded:
             print(f"fit DEGRADED      : {fit_report.degraded_reason}")

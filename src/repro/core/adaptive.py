@@ -97,6 +97,9 @@ class AdaptiveLoadDynamics(Predictor):
         :class:`repro.obs.monitor.drift.DriftDetector`) that replaces
         the rolling-window rule: scored errors feed it, its latched
         ``drifted`` flag triggers the refit, and the refit resets it.
+    target_channel:
+        Which column of a 2-D ``(steps, D)`` history is forecast (and
+        scored for drift); must stay 0 for univariate histories.
     """
 
     name = "adaptive-loaddynamics"
@@ -115,6 +118,7 @@ class AdaptiveLoadDynamics(Predictor):
         refit_retries: int = 1,
         refit_deadline_s: float | None = None,
         refit_on_drift=None,
+        target_channel: int = 0,
     ):
         if drift_window < 2:
             raise ValueError("drift_window must be >= 2")
@@ -134,6 +138,9 @@ class AdaptiveLoadDynamics(Predictor):
         self.refit_policy = RetryPolicy(max_retries=int(refit_retries))
         self.refit_deadline_s = refit_deadline_s
         self.refit_on_drift = refit_on_drift
+        if target_channel < 0:
+            raise ValueError("target_channel must be non-negative")
+        self.target_channel = int(target_channel)
 
         self.predictor: LoadDynamicsPredictor | None = None
         self.refit_history: list[int] = []  # history lengths at each (re)fit
@@ -226,7 +233,7 @@ class AdaptiveLoadDynamics(Predictor):
                 if inj is not None:
                     inj.maybe_fire("adaptive.refit")
                 ld = LoadDynamics(space=self._space, settings=settings)
-                predictor, _report = ld.fit(h)
+                predictor, _report = ld.fit(h, target_channel=self.target_channel)
             except _faults.SimulatedCrash:
                 raise
             except Exception as exc:
@@ -288,8 +295,10 @@ class AdaptiveLoadDynamics(Predictor):
             )
 
     def fit(self, history: np.ndarray) -> "AdaptiveLoadDynamics":
-        h = np.asarray(history, dtype=np.float64).ravel()
-        n = len(h)
+        h = np.asarray(history, dtype=np.float64)
+        if h.ndim != 2:
+            h = h.ravel()
+        n = int(h.shape[0])
         if n < self._last_len:
             # New series: start over.
             self.predictor = None
@@ -304,9 +313,13 @@ class AdaptiveLoadDynamics(Predictor):
             if self.refit_on_drift is not None:
                 self.refit_on_drift.reset()
 
-        # Score the cached forecast against every newly revealed value.
+        # Score the cached forecast against every newly revealed value
+        # (the target channel's value, for a multivariate history).
         if self.predictor is not None and self._last_pred is not None and n > self._last_len >= 0:
-            actual = float(h[self._last_len])
+            actual = float(
+                h[self._last_len, self.target_channel] if h.ndim == 2
+                else h[self._last_len]
+            )
             denom = max(abs(actual), 1e-9)
             err = 100.0 * abs(self._last_pred - actual) / denom
             self._recent_errors.append(err)
@@ -342,9 +355,11 @@ class AdaptiveLoadDynamics(Predictor):
         return self
 
     def predict_next(self, history: np.ndarray) -> float:
-        h = np.asarray(history, dtype=np.float64).ravel()
-        if self.predictor is None or self._last_len != len(h) or self._last_pred is None:
+        h = np.asarray(history, dtype=np.float64)
+        if h.ndim != 2:
+            h = h.ravel()
+        if self.predictor is None or self._last_len != int(h.shape[0]) or self._last_pred is None:
             self.fit(h)
         if self._last_pred is None:
-            return self._fallback(h)
+            return self._fallback(h[:, self.target_channel] if h.ndim == 2 else h)
         return float(self._last_pred)

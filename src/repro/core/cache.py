@@ -43,12 +43,25 @@ class WindowCache:
         i_train_end: int,
         i_val_end: int,
         max_train_windows: int | None = None,
+        target_channel: int = 0,
     ):
-        self._scaled = np.asarray(scaled, dtype=np.float64).ravel()
+        s = np.asarray(scaled, dtype=np.float64)
+        # A 2-D (N, D) series keeps its channels axis; anything else is
+        # the original univariate path, raveled exactly as before.
+        self._scaled = s if s.ndim == 2 else s.ravel()
         self._i_train_end = int(i_train_end)
         self._i_val_end = int(i_val_end)
         self._max_train_windows = max_train_windows
+        self._target_channel = int(target_channel)
         self._store: dict[int, tuple] = {}
+
+    @property
+    def n_channels(self) -> int:
+        return self._scaled.shape[1] if self._scaled.ndim == 2 else 1
+
+    @property
+    def target_channel(self) -> int:
+        return self._target_channel
 
     def get(self, n: int) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """``(X_train, y_train, X_val, y_val)`` for history length ``n``.
@@ -63,7 +76,9 @@ class WindowCache:
             return entry
         _metrics.counter("cache.windows.misses").inc()
         self._publish_hit_rate()
-        X_train, y_train = make_windows(self._scaled[: self._i_train_end], n)
+        X_train, y_train = make_windows(
+            self._scaled[: self._i_train_end], n, target=self._target_channel
+        )
         if (
             self._max_train_windows is not None
             and len(y_train) > self._max_train_windows
@@ -71,7 +86,8 @@ class WindowCache:
             X_train = X_train[-self._max_train_windows :]
             y_train = y_train[-self._max_train_windows :]
         X_val, y_val = windows_for_range(
-            self._scaled, n, self._i_train_end, self._i_val_end
+            self._scaled, n, self._i_train_end, self._i_val_end,
+            target=self._target_channel,
         )
         entry = (X_train, y_train, X_val, y_val)
         self._store[n] = entry

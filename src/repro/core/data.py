@@ -5,6 +5,12 @@ the brute-force baseline: split the JAR series 60/20/20, fit the min-max
 scaler on the *training split only* (leakage guard), and attach a
 :class:`~repro.core.cache.WindowCache` so every trial that shares a
 history length reuses the same window matrices.
+
+A 2-D ``(N, D)`` series flows through the same three steps: the split
+indices count time steps (rows), the scaler fits per-channel on the
+training rows only (same leakage guard), and the window cache hands out
+``(n_windows, n, D)`` tensors targeting ``target_channel``.  The 1-D
+path is byte-identical to the pre-multivariate implementation.
 """
 
 from __future__ import annotations
@@ -30,10 +36,19 @@ class PreparedData:
     i_train_end: int
     i_val_end: int
     window_cache: WindowCache | None = None
+    n_channels: int = 1
+    target_channel: int = 0
 
     @property
     def n_intervals(self) -> int:
-        return int(self.raw.size)
+        return int(self.raw.shape[0]) if self.raw.ndim == 2 else int(self.raw.size)
+
+    @property
+    def target_scaler(self) -> MinMaxScaler:
+        """Scalar scaler for the target channel (the whole scaler if 1-D)."""
+        if self.scaler.n_channels_ is None:
+            return self.scaler
+        return self.scaler.channel(self.target_channel)
 
 
 def prepare_data(
@@ -41,16 +56,32 @@ def prepare_data(
     settings: FrameworkSettings,
     *,
     window_cache: bool = True,
+    target_channel: int = 0,
 ) -> PreparedData:
     """Split + scale + window a series per the framework settings.
 
     Raises ``ValueError`` when the series is too short for the
     configured train/val fractions.  ``window_cache=False`` skips
     building the cross-trial cache (single-evaluation callers).
+    ``target_channel`` selects the predicted channel of a 2-D series
+    (ignored for 1-D input).
     """
-    s = np.asarray(series, dtype=np.float64).ravel()
+    s = np.asarray(series, dtype=np.float64)
+    multivariate = s.ndim == 2
+    if multivariate:
+        n_channels = int(s.shape[1])
+        if not 0 <= target_channel < n_channels:
+            raise ValueError(
+                f"target_channel {target_channel} out of range for "
+                f"{n_channels}-channel series"
+            )
+        n_total = int(s.shape[0])
+    else:
+        s = s.ravel()
+        n_channels = 1
+        target_channel = 0
+        n_total = s.size
     cfg = settings
-    n_total = s.size
     i_train_end = int(round(cfg.train_frac * n_total))
     i_val_end = int(round((cfg.train_frac + cfg.val_frac) * n_total))
     if i_train_end < 4 or i_val_end - i_train_end < 2:
@@ -59,11 +90,15 @@ def prepare_data(
             f"{cfg.train_frac:.0%}/{cfg.val_frac:.0%} split"
         )
 
-    # Scaler fit on the training split ONLY (leakage guard).
+    # Scaler fit on the training split ONLY (leakage guard); per-channel
+    # for a 2-D series.
     scaler = MinMaxScaler().fit(s[:i_train_end])
     scaled = scaler.transform(s)
     cache = (
-        WindowCache(scaled, i_train_end, i_val_end, cfg.max_train_windows)
+        WindowCache(
+            scaled, i_train_end, i_val_end, cfg.max_train_windows,
+            target_channel=target_channel,
+        )
         if window_cache
         else None
     )
@@ -74,4 +109,6 @@ def prepare_data(
         i_train_end=i_train_end,
         i_val_end=i_val_end,
         window_cache=cache,
+        n_channels=n_channels,
+        target_channel=target_channel,
     )

@@ -66,6 +66,7 @@ class TrialEvaluator:
         i_train_end: int,
         i_val_end: int,
         window_cache: WindowCache | None = None,
+        target_channel: int = 0,
     ) -> tuple[float, object | None, dict]:
         """Evaluate one hyperparameter set.
 
@@ -74,9 +75,14 @@ class TrialEvaluator:
         early-stop flag (or the infeasibility reason) and ends up on
         the trial's :class:`~repro.bayesopt.optimizer.TrialRecord`.
         ``model`` is ``None`` for infeasible trials.
+
+        A 2-D ``(N, D)`` scaled series trains on (N, n, D) window
+        tensors predicting ``target_channel``; validation MAPE is then
+        computed in the target channel's raw units.
         """
         cfg = self.settings
         n = int(config["history_len"])
+        n_channels = int(scaled.shape[1]) if scaled.ndim == 2 else 1
 
         def infeasible(reason: str, **extra) -> tuple[float, None, dict]:
             meta = {"infeasible": True, "reason": reason}
@@ -88,7 +94,8 @@ class TrialEvaluator:
             return infeasible("too_few_train_windows")
         if window_cache is None:
             window_cache = WindowCache(
-                scaled, i_train_end, i_val_end, cfg.max_train_windows
+                scaled, i_train_end, i_val_end, cfg.max_train_windows,
+                target_channel=target_channel,
             )
         X_train, y_train, X_val, y_val_scaled = window_cache.get(n)
         if X_val.shape[0] < 1:
@@ -101,9 +108,17 @@ class TrialEvaluator:
         last_failure: dict = {}
         t_train = time.perf_counter()
         for attempt in range(policy.attempts):
-            model = self.family.build(
-                config, cfg, policy.seed_for(cfg.seed, attempt)
-            )
+            # Univariate fits keep the original three-argument call, so
+            # pre-multivariate custom families stay drop-in compatible.
+            if n_channels == 1:
+                model = self.family.build(
+                    config, cfg, policy.seed_for(cfg.seed, attempt)
+                )
+            else:
+                model = self.family.build(
+                    config, cfg, policy.seed_for(cfg.seed, attempt),
+                    n_channels=n_channels, target_channel=target_channel,
+                )
             epoch_counter = EpochCounter()
             callbacks: list = [epoch_counter]
             if cfg.trial_timeout_s is not None:
@@ -159,9 +174,15 @@ class TrialEvaluator:
         }
 
         # Validation error in *raw* JAR units (MAPE is scale-sensitive).
+        # Per-channel scalers invert through the target channel's scalar
+        # map; a scalar scaler is its own channel-0 view (bit-identical).
+        out_scaler = (
+            scaler if scaler.n_channels_ is None
+            else scaler.channel(target_channel)
+        )
         pred_scaled = model.predict(X_val)
-        pred = np.maximum(scaler.inverse_transform(pred_scaled), 0.0)
-        actual = scaler.inverse_transform(y_val_scaled)
+        pred = np.maximum(out_scaler.inverse_transform(pred_scaled), 0.0)
+        actual = out_scaler.inverse_transform(y_val_scaled)
         try:
             value = mape(pred, actual)
         except ValueError:

@@ -70,6 +70,7 @@ def _evaluate_trial(
     scaler: MinMaxScaler,
     i_train_end: int,
     i_val_end: int,
+    target_channel: int,
     config: dict,
 ):
     """Picklable trial evaluator for the parallel search driver.
@@ -89,7 +90,8 @@ def _evaluate_trial(
     from repro.parallel import as_ndarray
 
     return evaluator.evaluate(
-        as_ndarray(scaled), as_ndarray(raw), scaler, config, i_train_end, i_val_end
+        as_ndarray(scaled), as_ndarray(raw), scaler, config, i_train_end, i_val_end,
+        target_channel=target_channel,
     )
 
 
@@ -220,6 +222,7 @@ class LoadDynamics:
         journal: str | Path | TrialJournal | None = None,
         resume: bool = False,
         n_workers: int | None = None,
+        target_channel: int = 0,
     ) -> tuple[LoadDynamicsPredictor, FitReport]:
         """Run the full Fig. 6 workflow on a JAR series.
 
@@ -252,12 +255,17 @@ class LoadDynamics:
         no longer be retrained), the fit *degrades* instead of raising:
         it returns a naive last-value predictor and a report flagged
         ``degraded=True``.
+
+        A 2-D ``(N, D)`` series runs the identical workflow per-channel
+        scaled, training on (N, n, D) window tensors that predict
+        ``target_channel`` (ignored for 1-D input).
         """
         t_start = time.perf_counter()
         cfg = self.settings
-        data = prepare_data(series, cfg)
+        data = prepare_data(series, cfg, target_channel=target_channel)
         s, scaled, scaler = data.raw, data.scaled, data.scaler
         i_train_end, i_val_end = data.i_train_end, data.i_val_end
+        target_channel = data.target_channel  # normalized (0 for 1-D input)
 
         best: dict = {"mape": np.inf, "model": None, "config": None}
         n_infeasible = 0
@@ -291,7 +299,8 @@ class LoadDynamics:
                 value, meta = hit
                 return settle(config, value, None, {**meta, "cache_hit": True})
             value, model, meta = evaluator.evaluate(
-                scaled, s, scaler, config, i_train_end, i_val_end, window_cache=wcache
+                scaled, s, scaler, config, i_train_end, i_val_end,
+                window_cache=wcache, target_channel=target_channel,
             )
             return settle(config, value, model, meta)
 
@@ -357,6 +366,7 @@ class LoadDynamics:
                             scaler,
                             i_train_end,
                             i_val_end,
+                            target_channel,
                         )
                         driver.run_parallel(
                             raw_eval,
@@ -381,7 +391,7 @@ class LoadDynamics:
             logger.info("retraining journal-best config %s", best["config"])
             _value, model, _meta = evaluator.evaluate(
                 scaled, s, scaler, best["config"], i_train_end, i_val_end,
-                window_cache=wcache,
+                window_cache=wcache, target_channel=target_channel,
             )
             if model is not None:
                 best["model"] = model
@@ -403,12 +413,22 @@ class LoadDynamics:
                 root,
                 i_train_end,
                 i_val_end,
+                target_channel,
             )
 
         hp = self.family.hyperparameters(best["config"])
-        predictor = self.family.wrap_predictor(
-            best["model"], scaler, best["config"], best["mape"]
-        )
+        # Univariate fits keep the original four-argument call, so
+        # custom families that override ``wrap_predictor`` with the
+        # pre-multivariate signature keep working.
+        if data.n_channels > 1:
+            predictor = self.family.wrap_predictor(
+                best["model"], scaler, best["config"], best["mape"],
+                target_channel=target_channel,
+            )
+        else:
+            predictor = self.family.wrap_predictor(
+                best["model"], scaler, best["config"], best["mape"]
+            )
         report = FitReport(
             best_hyperparameters=hp,
             best_validation_mape=best["mape"],
@@ -440,6 +460,7 @@ class LoadDynamics:
         root,
         i_train_end: int,
         i_val_end: int,
+        target_channel: int = 0,
     ) -> tuple[LoadDynamicsPredictor, FitReport]:
         """Graceful degradation: hand back a naive last-value predictor.
 
@@ -450,8 +471,9 @@ class LoadDynamics:
         predictor is tagged with the ``naive`` family, which makes it
         persistable like any other (its save format is a marker file).
         """
-        val_pred = s[i_train_end - 1 : i_val_end - 1]
-        val_actual = s[i_train_end:i_val_end]
+        tgt = s[:, target_channel] if s.ndim == 2 else s
+        val_pred = tgt[i_train_end - 1 : i_val_end - 1]
+        val_actual = tgt[i_train_end:i_val_end]
         try:
             naive_mape = float(mape(val_pred, val_actual))
         except ValueError:
@@ -459,11 +481,12 @@ class LoadDynamics:
         naive = get_family("naive")
         hp = naive.hyperparameters({})
         predictor = LoadDynamicsPredictor(
-            model=NaiveLastValueModel(),
+            model=NaiveLastValueModel(target_channel=target_channel),
             scaler=scaler,
             hyperparameters=hp,
             validation_mape=naive_mape,
             family=naive.name,
+            target_channel=target_channel,
         )
         report = FitReport(
             best_hyperparameters=hp,
@@ -515,9 +538,15 @@ class LoadDynamics:
         self, predictor: LoadDynamicsPredictor, series: np.ndarray
     ) -> float:
         """Test MAPE on the last ``1 - train - val`` fraction of ``series``
-        (the paper's accuracy number, Section IV-B)."""
-        s = np.asarray(series, dtype=np.float64).ravel()
+        (the paper's accuracy number, Section IV-B).  Multivariate
+        predictors are scored on their target channel."""
+        s = np.asarray(series, dtype=np.float64)
         cfg = self.settings
+        if s.ndim == 2 and getattr(predictor, "n_channels", 1) > 1:
+            i_test = int(round((cfg.train_frac + cfg.val_frac) * s.shape[0]))
+            preds = predictor.predict_series(s, i_test)
+            return mape(preds, s[i_test:, predictor.target_channel])
+        s = s.ravel()
         i_test = int(round((cfg.train_frac + cfg.val_frac) * s.size))
         preds = predictor.predict_series(s, i_test)
         return mape(preds, s[i_test:])

@@ -45,12 +45,17 @@ class NaiveLastValueModel:
     input_size = 1
     degraded = True
 
+    def __init__(self, target_channel: int = 0):
+        # Multivariate windows carry all channels; persistence predicts
+        # the last value of the *target* channel (0 for 1-D windows).
+        self.target_channel = int(target_channel)
+
     def predict(self, x: np.ndarray, batch_size: int = 4096) -> np.ndarray:
         x = np.asarray(x, dtype=np.float64)
         if x.ndim == 3:
-            x = x[:, :, 0]
+            x = x[:, :, self.target_channel]
         if x.ndim != 2:
-            raise ValueError(f"expected (N, n) or (N, n, 1) windows, got {x.shape}")
+            raise ValueError(f"expected (N, n) or (N, n, D) windows, got {x.shape}")
         return x[:, -1].copy()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -69,6 +74,7 @@ class LoadDynamicsPredictor(Predictor):
         hyperparameters,
         validation_mape: float = float("nan"),
         family: str = "lstm",
+        target_channel: int = 0,
     ):
         # Shape-consistency guard where both sides carry NN shape info
         # (the recurrent families); classical models have no cell/layer
@@ -88,14 +94,45 @@ class LoadDynamicsPredictor(Predictor):
         self.validation_mape = float(validation_mape)
         self.family = str(family)
         self.min_history = hyperparameters.history_len
+        # Channel plumbing: the (per-channel) scaler carries D; the
+        # target channel is which column the predictor forecasts.
+        self.n_channels = int(scaler.n_channels_ or 1)
+        self.target_channel = int(target_channel)
+        if not 0 <= self.target_channel < self.n_channels:
+            raise ValueError(
+                f"target_channel {target_channel} out of range for "
+                f"{self.n_channels}-channel predictor"
+            )
+        self._target_scaler = (
+            scaler if scaler.n_channels_ is None
+            else scaler.channel(self.target_channel)
+        )
 
     # ------------------------------------------------------------------
     # Predictor protocol
     # ------------------------------------------------------------------
     def predict_next(self, history: np.ndarray) -> float:
-        """One-step-ahead prediction from the raw (unscaled) history."""
-        h = np.asarray(history, dtype=np.float64).ravel()
+        """One-step-ahead prediction from the raw (unscaled) history.
+
+        A multivariate predictor takes a 2-D ``(steps, D)`` history and
+        forecasts its target channel; the univariate path is unchanged.
+        """
+        h = np.asarray(history, dtype=np.float64)
         n = self.hyperparameters.history_len
+        if self.n_channels > 1:
+            if h.ndim != 2 or h.shape[1] != self.n_channels:
+                raise ValueError(
+                    f"{self.n_channels}-channel predictor needs a "
+                    f"(steps, {self.n_channels}) history, got shape {h.shape}"
+                )
+            if h.shape[0] < n:
+                return self._fallback(h[:, self.target_channel])
+            window = self.scaler.transform(h[-n:])[None, :, :]
+            pred = float(self.model.predict(window)[0])
+            return float(
+                max(self._target_scaler.inverse_transform(np.array([pred]))[0], 0.0)
+            )
+        h = h.ravel()
         if h.size < n:
             return self._fallback(h)
         window = self.scaler.transform(h[-n:])[None, :]
@@ -111,9 +148,35 @@ class LoadDynamicsPredictor(Predictor):
         as one batched forward pass — this is the inference path whose
         latency the paper reports (<4.78 ms per prediction).
         """
+        n = self.hyperparameters.history_len
+        if self.n_channels > 1:
+            s = np.asarray(series, dtype=np.float64)
+            if s.ndim != 2 or s.shape[1] != self.n_channels:
+                raise ValueError(
+                    f"{self.n_channels}-channel predictor needs a "
+                    f"(steps, {self.n_channels}) series, got shape {s.shape}"
+                )
+            end = s.shape[0] if end is None else end
+            X, _ = windows_for_range(
+                s, n, start, end, copy=False, target=self.target_channel
+            )
+            n_missing = (end - start) - X.shape[0]
+            preds = np.empty(end - start)
+            if X.shape[0]:
+                scaled = self.scaler.transform(X)
+                raw = self.model.predict(scaled)
+                np.maximum(
+                    self._target_scaler.inverse_transform(raw),
+                    0.0,
+                    out=preds[n_missing:],
+                )
+            if n_missing:
+                idx = start + np.arange(n_missing)
+                tgt = s[:, self.target_channel]
+                preds[:n_missing] = np.where(idx > 0, tgt[idx - 1], 0.0)
+            return preds
         s = np.asarray(series, dtype=np.float64).ravel()
         end = s.size if end is None else end
-        n = self.hyperparameters.history_len
         # copy=False: the scaler transform below materializes a fresh
         # array anyway, so the contiguous window copy would be pure waste.
         X, _ = windows_for_range(s, n, start, end, copy=False)
@@ -153,6 +216,8 @@ class LoadDynamicsPredictor(Predictor):
             "hyperparameters": self.hyperparameters.as_dict(),
             "scaler": self.scaler.state(),
             "validation_mape": self.validation_mape,
+            "n_channels": self.n_channels,
+            "target_channel": self.target_channel,
         }
         (directory / "predictor.json").write_text(json.dumps(meta, indent=2))
         return directory
@@ -189,6 +254,9 @@ class LoadDynamicsPredictor(Predictor):
             hyperparameters=family.hyperparameters(meta["hyperparameters"]),
             validation_mape=meta.get("validation_mape", float("nan")),
             family=family.name,
+            # Pre-multivariate directories carry no channel keys; they
+            # were all univariate (scaler state is scalar, D=1).
+            target_channel=int(meta.get("target_channel", 0)),
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -4,6 +4,13 @@
 sliding window paired with the value that followed it.  Windows are
 built with stride tricks (zero-copy views) and only materialized where
 the training loop needs contiguous batches.
+
+A 2-D ``(N, D)`` series produces ``(n_windows, n, D)`` window tensors —
+each window carries all D channels — while the paired target ``y`` is
+the next value of the *target channel* only.  Windowing a multivariate
+series is exactly per-channel 1-D windowing stacked on the last axis
+(property-tested), and the 1-D code path is byte-identical to the
+pre-multivariate implementation.
 """
 
 from __future__ import annotations
@@ -13,15 +20,40 @@ import numpy as np
 __all__ = ["make_windows", "windows_for_range"]
 
 
-def make_windows(series: np.ndarray, n: int) -> tuple[np.ndarray, np.ndarray]:
+def _as_series(series: np.ndarray) -> np.ndarray:
+    """Coerce to float64, keeping a channels axis only when 2-D."""
+    s = np.asarray(series, dtype=np.float64)
+    if s.ndim == 2:
+        return s
+    return s.ravel()
+
+
+def make_windows(
+    series: np.ndarray, n: int, *, target: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
     """All (window → next value) pairs within ``series``.
 
-    Returns ``X`` of shape (N, n) and ``y`` of shape (N,) where
-    ``X[j] = series[j : j+n]`` and ``y[j] = series[j+n]``.
+    For a 1-D series returns ``X`` of shape (N, n) and ``y`` of shape
+    (N,) where ``X[j] = series[j : j+n]`` and ``y[j] = series[j+n]``.
+    For a 2-D ``(len, D)`` series ``X`` has shape (N, n, D) and
+    ``y[j] = series[j+n, target]``.
     """
-    s = np.asarray(series, dtype=np.float64).ravel()
+    s = _as_series(series)
     if n < 1:
         raise ValueError("history length n must be >= 1")
+    if s.ndim == 2:
+        n_steps = s.shape[0]
+        if n_steps <= n:
+            raise ValueError(
+                f"series of length {n_steps} yields no windows of history length {n}"
+            )
+        # sliding_window_view over axis 0 appends the window axis last:
+        # (N, D, n) → transpose to (N, n, D).
+        X = np.lib.stride_tricks.sliding_window_view(
+            s[:-1], n, axis=0
+        ).transpose(0, 2, 1)
+        y = s[n:, target]
+        return np.ascontiguousarray(X), y.copy()
     if s.size <= n:
         raise ValueError(
             f"series of length {s.size} yields no windows of history length {n}"
@@ -33,7 +65,7 @@ def make_windows(series: np.ndarray, n: int) -> tuple[np.ndarray, np.ndarray]:
 
 def windows_for_range(
     series: np.ndarray, n: int, start: int, end: int | None = None,
-    *, copy: bool = True
+    *, copy: bool = True, target: int = 0
 ) -> tuple[np.ndarray, np.ndarray]:
     """Windows whose *targets* fall in ``series[start:end]``.
 
@@ -47,10 +79,30 @@ def windows_for_range(
     views aliasing ``series`` (values identical): callers that feed the
     windows straight into a value-producing transform — the inference
     path, whose scaler copies anyway — skip one materialization.
+
+    A 2-D ``(len, D)`` series yields (n_windows, n, D) windows with
+    targets drawn from channel ``target``.
     """
-    s = np.asarray(series, dtype=np.float64).ravel()
+    s = _as_series(series)
     if n < 1:
         raise ValueError("history length n must be >= 1")
+    if s.ndim == 2:
+        n_steps = s.shape[0]
+        end = n_steps if end is None else end
+        if not 0 <= start < end <= n_steps:
+            raise ValueError(
+                f"invalid target range [{start}, {end}) for length {n_steps}"
+            )
+        first = max(start, n)  # earliest target with a full window
+        if first >= end:
+            return np.empty((0, n, s.shape[1])), np.empty(0)
+        X = np.lib.stride_tricks.sliding_window_view(s, n, axis=0)[
+            first - n : end - n
+        ].transpose(0, 2, 1)
+        y = s[first:end, target]
+        if not copy:
+            return X, y
+        return np.ascontiguousarray(X), y.copy()
     end = s.size if end is None else end
     if not 0 <= start < end <= s.size:
         raise ValueError(f"invalid target range [{start}, {end}) for length {s.size}")

@@ -68,11 +68,25 @@ class ModelFamily(abc.ABC):
     # trial training
     # ------------------------------------------------------------------
     @abc.abstractmethod
-    def build(self, config: dict, settings, seed: int):
+    def build(
+        self,
+        config: dict,
+        settings,
+        seed: int,
+        n_channels: int = 1,
+        target_channel: int = 0,
+    ):
         """Construct a fresh, untrained model for one config.
 
         ``seed`` is the retry-aware weight seed chosen by the trial
         evaluator (:meth:`repro.resilience.retry.RetryPolicy.seed_for`).
+
+        ``n_channels``/``target_channel`` describe the window tensors a
+        multivariate fit will train on — ``(N, n, n_channels)`` windows
+        predicting ``target_channel``.  The evaluator only passes them
+        when ``n_channels > 1``, so families written before the
+        multivariate pipeline (three-argument ``build``) keep working
+        for every univariate fit.
         """
 
     @abc.abstractmethod
@@ -108,8 +122,20 @@ class ModelFamily(abc.ABC):
         """Hyperparameter object (``as_dict``-able, with ``history_len``)
         for reports and predictor metadata."""
 
-    def wrap_predictor(self, model, scaler, config: dict, validation_mape: float):
-        """Package a trained model as a deployable predictor (step 5)."""
+    def wrap_predictor(
+        self,
+        model,
+        scaler,
+        config: dict,
+        validation_mape: float,
+        target_channel: int = 0,
+    ):
+        """Package a trained model as a deployable predictor (step 5).
+
+        The channel count is carried by the (per-channel) scaler;
+        ``target_channel`` selects the predicted channel of a
+        multivariate fit.
+        """
         from repro.core.predictor import LoadDynamicsPredictor
 
         return LoadDynamicsPredictor(
@@ -118,6 +144,7 @@ class ModelFamily(abc.ABC):
             hyperparameters=self.hyperparameters(config),
             validation_mape=validation_mape,
             family=self.name,
+            target_channel=target_channel,
         )
 
     # ------------------------------------------------------------------

@@ -32,15 +32,53 @@ from repro.core.config import GenericHyperparameters, history_range
 from repro.ml import GradientBoostingRegressor, KernelSVR
 from repro.models.base import ModelFamily
 
-__all__ = ["GBRFamily", "SVRFamily"]
+__all__ = ["GBRFamily", "SVRFamily", "FlattenedLagRegressor"]
 
 _MODEL_FILE = "model.pkl"
+
+
+class FlattenedLagRegressor:
+    """Flattened-lag adapter: (N, n, D) windows → (N, n*D) features.
+
+    Classical regressors consume flat feature vectors, so a multivariate
+    window is presented as its per-timestep channel blocks concatenated
+    in time order (the 2-D reshape of the window tensor).  Univariate
+    fits never construct this wrapper — their (N, n) windows reach the
+    regressor untouched, exactly as before.  Module-level so pickled
+    predictor directories round-trip.
+    """
+
+    def __init__(self, regressor):
+        self.regressor = regressor
+
+    @staticmethod
+    def _flatten(X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 3:
+            return X.reshape(X.shape[0], -1)
+        return X
+
+    def fit(self, X: np.ndarray, y: np.ndarray):
+        self.regressor.fit(self._flatten(X), y)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return self.regressor.predict(self._flatten(X))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FlattenedLagRegressor({self.regressor!r})"
 
 
 class _WindowedRegressorFamily(ModelFamily):
     """Shared plumbing for single-shot windowed regressors."""
 
     kind = "classical"
+
+    def _maybe_flatten(self, model, n_channels: int):
+        """Wrap a freshly built regressor for multivariate windows."""
+        if int(n_channels) > 1:
+            return FlattenedLagRegressor(model)
+        return model
 
     def train(
         self,
@@ -93,14 +131,22 @@ class GBRFamily(_WindowedRegressorFamily):
             ]
         )
 
-    def build(self, config: dict, settings, seed: int) -> GradientBoostingRegressor:
-        return GradientBoostingRegressor(
+    def build(
+        self,
+        config: dict,
+        settings,
+        seed: int,
+        n_channels: int = 1,
+        target_channel: int = 0,
+    ) -> GradientBoostingRegressor:
+        model = GradientBoostingRegressor(
             n_estimators=int(config["n_estimators"]),
             learning_rate=float(config["learning_rate"]),
             max_depth=int(config["max_depth"]),
             subsample=0.8,
             seed=seed,
         )
+        return self._maybe_flatten(model, n_channels)
 
 
 class SVRFamily(_WindowedRegressorFamily):
@@ -124,9 +170,17 @@ class SVRFamily(_WindowedRegressorFamily):
             ]
         )
 
-    def build(self, config: dict, settings, seed: int) -> KernelSVR:
-        return KernelSVR(
+    def build(
+        self,
+        config: dict,
+        settings,
+        seed: int,
+        n_channels: int = 1,
+        target_channel: int = 0,
+    ) -> KernelSVR:
+        model = KernelSVR(
             C=float(config["C"]),
             epsilon=float(config["epsilon"]),
             seed=seed,
         )
+        return self._maybe_flatten(model, n_channels)

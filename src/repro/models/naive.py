@@ -11,6 +11,7 @@ round-trips through the same ``save``/``load`` machinery.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import numpy as np
@@ -40,8 +41,15 @@ class NaiveFamily(ModelFamily):
         # One point: there is nothing to optimize about persistence.
         return SearchSpace([IntParam("history_len", 1, 1)])
 
-    def build(self, config: dict, settings, seed: int) -> NaiveLastValueModel:
-        return NaiveLastValueModel()
+    def build(
+        self,
+        config: dict,
+        settings,
+        seed: int,
+        n_channels: int = 1,
+        target_channel: int = 0,
+    ) -> NaiveLastValueModel:
+        return NaiveLastValueModel(target_channel=target_channel)
 
     def train(
         self,
@@ -66,7 +74,11 @@ class NaiveFamily(ModelFamily):
         return LSTMHyperparameters.from_dict(d)
 
     def save_model(self, model: NaiveLastValueModel, directory: Path) -> None:
-        (directory / _MODEL_FILE).write_text('{"type": "naive-last-value"}\n')
+        target = int(getattr(model, "target_channel", 0))
+        (directory / _MODEL_FILE).write_text(
+            '{"type": "naive-last-value", "target_channel": %d}\n' % target
+        )
 
     def load_model(self, directory: Path) -> NaiveLastValueModel:
-        return NaiveLastValueModel()
+        meta = json.loads((directory / _MODEL_FILE).read_text())
+        return NaiveLastValueModel(target_channel=int(meta.get("target_channel", 0)))

@@ -41,10 +41,22 @@ class _RecurrentFamily(ModelFamily):
         # same four hyperparameters regardless of the recurrent cell).
         return search_space_for(trace_name, budget, extended=extended)
 
-    def build(self, config: dict, settings, seed: int) -> LSTMRegressor:
+    def build(
+        self,
+        config: dict,
+        settings,
+        seed: int,
+        n_channels: int = 1,
+        target_channel: int = 0,
+    ) -> LSTMRegressor:
+        # Multichannel windows feed the first layer's input projection
+        # directly (input_size=D); the target channel is encoded in the
+        # training labels, not the model.  For n_channels == 1 this is
+        # argument-for-argument the pre-multivariate construction.
         return LSTMRegressor(
             hidden_size=int(config["cell_size"]),
             num_layers=int(config["num_layers"]),
+            input_size=int(n_channels),
             seed=seed,
             cell=self.cell,
         )

@@ -37,12 +37,15 @@ class _GRUScratch:
     every call so in-place weight updates can never go stale.
     """
 
-    __slots__ = ("B", "T", "xw", "hu", "z", "r", "rh", "g", "tmp",
+    __slots__ = ("B", "T", "xw", "xw_tm", "hu", "z", "r", "rh", "g", "tmp",
                  "h_prev", "out", "Uzr", "Ug")
 
     def __init__(self, B: int, T: int, H: int):
         self.B, self.T = B, T
         self.xw = np.empty((B * T, 3 * H))
+        # Time-major staging slab for the multichannel projection;
+        # allocated on first D > 1 call only (see the LSTM twin).
+        self.xw_tm: np.ndarray | None = None
         self.hu = np.empty((B, 2 * H))
         self.z = self.hu[:, :H]
         self.r = self.hu[:, H:]
@@ -186,12 +189,17 @@ class GRULayer:
             xw = s.xw.reshape(T, B, 3 * H)
             np.multiply(x.transpose(1, 0, 2), self.W, out=xw)
             xw += self.b
-            time_major = True
         else:
+            # Multichannel case: same hoisted GEMM as the cached path,
+            # then a bits-preserving transpose-copy into a (T, B, 3H)
+            # time-major slab so step slices are contiguous (see the
+            # LSTM twin for the parity argument).
             np.matmul(np.ascontiguousarray(x).reshape(B * T, D), self.W, out=s.xw)
-            xw = s.xw.reshape(B, T, 3 * H)
+            if s.xw_tm is None:
+                s.xw_tm = np.empty((T, B, 3 * H))
+            xw = s.xw_tm
+            np.copyto(xw, s.xw.reshape(B, T, 3 * H).transpose(1, 0, 2))
             xw += self.b
-            time_major = False
 
         if h0 is None:
             s.h_prev.fill(0.0)
@@ -200,8 +208,9 @@ class GRULayer:
 
         out = s.out
         H2 = 2 * H
-        # Hoist per-step slice construction out of the loop (see LSTM).
-        xts = list(xw) if time_major else [xw[:, t] for t in range(T)]
+        # Hoist per-step slice construction out of the loop (see LSTM);
+        # both projection branches land in time-major layout.
+        xts = list(xw)
         for t in range(T):
             xwt = xts[t]
             np.matmul(s.h_prev, s.Uzr, out=s.hu)  # z and r recurrent parts

@@ -37,12 +37,16 @@ class _LSTMScratch:
     (views ``ai/af/ao``) and the candidate in ``g``.
     """
 
-    __slots__ = ("B", "T", "xw", "z", "zsig", "zg", "a", "ai", "af",
+    __slots__ = ("B", "T", "xw", "xw_tm", "z", "zsig", "zg", "a", "ai", "af",
                  "ao", "g", "h_prev", "c_prev", "c", "tmp", "out")
 
     def __init__(self, B: int, T: int, H: int):
         self.B, self.T = B, T
         self.xw = np.empty((B * T, 4 * H))
+        # Time-major staging slab for the multichannel projection;
+        # allocated on first D > 1 call only (the univariate path
+        # computes straight into ``xw`` in time-major order).
+        self.xw_tm: np.ndarray | None = None
         self.z = np.empty((B, 4 * H))
         # Gate layout is [i, f, o, g]: the three sigmoid gates form one
         # (B, 3H) block.  ``a`` is a dense copy of that block — ufunc
@@ -264,14 +268,20 @@ class LSTMLayer:
             xw = s.xw.reshape(T, B, 4 * H)
             np.multiply(x.transpose(1, 0, 2), self.W, out=xw)
             xw += self.b
-            time_major = True
         else:
-            # Hoisted input projection, as in the cached path: one GEMM
-            # over all timesteps, into the reusable scratch block.
+            # Multichannel case: the same hoisted GEMM as the cached
+            # path — one (B*T, D) @ (D, 4H) product, so every element
+            # is computed by the identical dot-product reduction —
+            # then a transpose-copy into a (T, B, 4H) time-major slab
+            # so the step slices below are contiguous, exactly like
+            # the univariate branch.  Copies never change bits, so
+            # parity with :meth:`forward` holds for every D.
             np.matmul(np.ascontiguousarray(x).reshape(B * T, D), self.W, out=s.xw)
-            xw = s.xw.reshape(B, T, 4 * H)
+            if s.xw_tm is None:
+                s.xw_tm = np.empty((T, B, 4 * H))
+            xw = s.xw_tm
+            np.copyto(xw, s.xw.reshape(B, T, 4 * H).transpose(1, 0, 2))
             xw += self.b
-            time_major = False
 
         if h0 is None:
             s.h_prev.fill(0.0)
@@ -293,8 +303,9 @@ class LSTMLayer:
         c, c_prev = s.c, s.c_prev
         U = self.U
         # Hoist per-step slice construction out of the loop: iterating a
-        # (T, B, 4H) array yields the contiguous step views directly.
-        xts = list(xw) if time_major else [xw[:, t] for t in range(T)]
+        # (T, B, 4H) array yields the contiguous step views directly
+        # (both projection branches land in time-major layout).
+        xts = list(xw)
         for t in range(T):
             # z_t = (x_t W + b) + h_{t-1} U; IEEE addition commutes
             # bitwise, so either accumulation direction matches the

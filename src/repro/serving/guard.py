@@ -115,6 +115,10 @@ class GuardedPredictor(Predictor):
         base = primary.name if primary is not None else "none"
         self.name = f"guarded[{base}]"
         self.min_history = getattr(primary, "min_history", 1) if primary else 1
+        #: Which column of a 2-D history is the forecast target; the
+        #: bound, fallbacks, and rescue all work on that channel while a
+        #: multivariate primary sees the full (steps, D) history.
+        self.target_channel = int(getattr(primary, "target_channel", 0) or 0)
         #: Serve counts per stage: "primary", each fallback's name, "zero".
         self.served_by: dict[str, int] = {}
         #: Latched ``drift@serve.predict`` level shift: once the fault
@@ -131,6 +135,24 @@ class GuardedPredictor(Predictor):
         self._c_shed = _metrics.counter("serving.breaker.short_circuit")
 
     # ------------------------------------------------------------------
+    def _split_history(self, history) -> tuple[np.ndarray, np.ndarray]:
+        """``(full, target)`` views of a raw history.
+
+        1-D histories return the same array twice (no copy, no change);
+        2-D ``(steps, D)`` histories pair the full matrix (for the
+        primary) with the target channel (for bound/fallbacks/baselines).
+        """
+        h = np.asarray(history, dtype=np.float64)
+        if h.ndim == 2:
+            if not 0 <= self.target_channel < h.shape[1]:
+                raise ValueError(
+                    f"target_channel {self.target_channel} out of range "
+                    f"for {h.shape[1]}-channel history"
+                )
+            return h, h[:, self.target_channel]
+        h = h.ravel()
+        return h, h
+
     def _bound(self, h: np.ndarray) -> float:
         """Sanity ceiling: guard_factor x max of the recent finite history."""
         tail = h[-self.rolling_window :]
@@ -208,7 +230,7 @@ class GuardedPredictor(Predictor):
     # ------------------------------------------------------------------
     def fit(self, history: np.ndarray) -> "GuardedPredictor":
         """Guarded refit: a failing primary fit keeps the stale model."""
-        h = np.asarray(history, dtype=np.float64).ravel()
+        h, tgt = self._split_history(history)
         if self.primary is not None:
             try:
                 self.primary.fit(h)
@@ -222,15 +244,20 @@ class GuardedPredictor(Predictor):
                 )
         for fb in self.fallbacks:
             try:
-                fb.fit(h)
+                fb.fit(tgt)
             except Exception:  # fallbacks must never take serving down
                 logger.warning("fallback %s fit failed", fb.name)
         return self
 
     def predict_next(self, history: np.ndarray) -> float:
-        """Always returns a finite value in ``[0, guard_factor x rolling max]``."""
-        h = np.asarray(history, dtype=np.float64).ravel()
-        bound = self._bound(h)
+        """Always returns a finite value in ``[0, guard_factor x rolling max]``.
+
+        A 2-D ``(steps, D)`` history feeds the primary whole; the
+        rolling-max bound and the (univariate) fallback chain see the
+        target channel.
+        """
+        h, tgt = self._split_history(history)
+        bound = self._bound(tgt)
         self._c_total.inc()
 
         value = self._try_primary(h, bound)
@@ -240,7 +267,7 @@ class GuardedPredictor(Predictor):
 
         for fb in self.fallbacks:
             try:
-                raw = fb.predict_next(h)
+                raw = fb.predict_next(tgt)
             except _faults.SimulatedCrash:
                 raise
             except Exception:

@@ -93,6 +93,7 @@ class ServingReport:
 def _monitored_walk(
     predictor: Predictor,
     series: np.ndarray,
+    target: np.ndarray,
     start: int,
     refit_every: int,
     monitor: "ForecastMonitor",
@@ -104,8 +105,12 @@ def _monitored_walk(
     same persistence rescue, same non-negativity clip — regression-tested
     against it), additionally timing each ``predict_next`` and feeding
     the monitor the (forecast, revealed actual, latency) triple.
+
+    For a 2-D ``(steps, D)`` series the predictor sees the full
+    multivariate history while rescue/scoring read ``target`` (the
+    target channel; the series itself when 1-D).
     """
-    n = series.size
+    n = int(series.shape[0])
     if not 0 < start <= n:
         raise ValueError(f"invalid start {start} for series of length {n}")
     if refit_every < 1:
@@ -121,17 +126,18 @@ def _monitored_walk(
         latency = perf_counter() - t0
         if not np.isfinite(p):
             # Persistence rescue, identical to walk_forward's.
-            last = float(history[-1])
+            last = float(target[i - 1])
             p = last if np.isfinite(last) else 0.0
         p = max(p, 0.0)
         preds[j] = p
-        monitor.observe(p, float(series[i]), latency_s=latency)
+        monitor.observe(p, float(target[i]), latency_s=latency)
     return preds
 
 
 def _controller_walk(
     predictor: Predictor,
     series: np.ndarray,
+    target: np.ndarray,
     start: int,
     refit_every: int,
     controller: "HybridController",
@@ -147,8 +153,11 @@ def _controller_walk(
     emitted schedule is the controller's whole-VM decisions, rails and
     burst included.  A monitor still scores only the *finite* forecasts
     — decisions are not forecasts.
+
+    The predictor walks the full (possibly multivariate) ``series``;
+    the controller's reactive tier and the monitor read ``target``.
     """
-    n = series.size
+    n = int(series.shape[0])
     if not 0 < start <= n:
         raise ValueError(f"invalid start {start} for series of length {n}")
     if refit_every < 1:
@@ -164,8 +173,8 @@ def _controller_walk(
         p = _guarded_forecast(predictor, history, refit=(j % refit_every == 0))
         latency = perf_counter() - t0
         if monitor is not None and np.isfinite(p):
-            monitor.observe(max(float(p), 0.0), float(series[i]), latency_s=latency)
-        schedule[j] = controller.step(p, history).vms
+            monitor.observe(max(float(p), 0.0), float(target[i]), latency_s=latency)
+        schedule[j] = controller.step(p, target[:i]).vms
     return schedule
 
 
@@ -198,23 +207,33 @@ def serve_and_simulate(
     the *controller's decisions* (correction, rails, burst, tiered
     degradation) become the schedule; the report gains the controller
     snapshot and the breaker state.
+
+    2-D ``(steps, D)`` arrivals drive a multivariate predictor: the
+    full history walks into the predictor while the target channel
+    (``predictor.target_channel``, default 0) feeds the bound checks,
+    the monitor, and the simulator's actual-arrival replay.
     """
-    a = np.asarray(arrivals, dtype=np.float64).ravel()
+    a = np.asarray(arrivals, dtype=np.float64)
+    if a.ndim == 2:
+        target = a[:, int(getattr(predictor, "target_channel", 0) or 0)]
+    else:
+        a = a.ravel()
+        target = a
     if controller is not None:
         schedule = _controller_walk(
-            predictor, a, start, refit_every, controller, monitor
+            predictor, a, target, start, refit_every, controller, monitor
         )
     elif monitor is None:
         schedule = provisioning_schedule(predictor, a, start, refit_every=refit_every)
     else:
-        preds = _monitored_walk(predictor, a, start, refit_every, monitor)
+        preds = _monitored_walk(predictor, a, target, start, refit_every, monitor)
         if not np.all(np.isfinite(preds)):
             raise ValueError(
                 f"predictor {predictor.name!r} produced non-finite forecasts; "
                 "wrap it in repro.serving.GuardedPredictor for online use"
             )
         schedule = np.ceil(np.maximum(preds, 0.0))
-    result = CloudSimulator(spec=spec, seed=seed).run(a[start:], schedule)
+    result = CloudSimulator(spec=spec, seed=seed).run(target[start:], schedule)
 
     counters = {
         name: snap["value"]

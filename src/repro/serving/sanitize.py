@@ -74,6 +74,12 @@ class DataQualityReport:
     outlier_indices: tuple[int, ...] = ()
     #: Repair actions performed, action name -> value count.
     repairs: dict[str, int] = field(default_factory=dict)
+    #: Per-channel sub-reports of a multivariate series (empty for 1-D);
+    #: the parent report aggregates their counts, the spans/outlier
+    #: detail lives on the sub-report of the channel it belongs to.
+    channel_reports: list = field(default_factory=list)
+    #: Channel labels matching ``channel_reports`` (``None`` for 1-D).
+    channel_names: tuple | None = None
 
     @property
     def n_invalid(self) -> int:
@@ -92,6 +98,8 @@ class DataQualityReport:
     def summary(self) -> str:
         """One-line human-readable digest for logs and the CLI."""
         parts = [f"{self.n_samples} samples"]
+        if self.channel_reports:
+            parts[0] += f" across {len(self.channel_reports)} channels"
         if self.n_invalid:
             parts.append(
                 f"{self.n_nan} NaN / {self.n_inf} inf / {self.n_negative} negative"
@@ -148,9 +156,49 @@ class TraceSanitizer:
         self.repair_outliers = bool(repair_outliers)
 
     # ------------------------------------------------------------------
-    def check(self, series) -> DataQualityReport:
-        """Diagnose ``series`` without modifying it."""
-        s = np.asarray(series, dtype=np.float64).ravel()
+    def _combined(
+        self, s: np.ndarray, subs: list[DataQualityReport], names
+    ) -> DataQualityReport:
+        """Aggregate per-channel sub-reports into one parent report."""
+        repairs: dict[str, int] = {}
+        for rep in subs:
+            for action, count in rep.repairs.items():
+                repairs[action] = repairs.get(action, 0) + count
+        return DataQualityReport(
+            n_samples=int(s.size),
+            n_nan=sum(r.n_nan for r in subs),
+            n_inf=sum(r.n_inf for r in subs),
+            n_negative=sum(r.n_negative for r in subs),
+            repairs=repairs,
+            channel_reports=subs,
+            channel_names=names,
+        )
+
+    @staticmethod
+    def _channel_labels(s: np.ndarray, channel_names) -> tuple | None:
+        if channel_names is None:
+            return None
+        names = tuple(str(x) for x in channel_names)
+        if len(names) != s.shape[1]:
+            raise ValueError(f"{len(names)} channel names for {s.shape[1]} channels")
+        return names
+
+    # ------------------------------------------------------------------
+    def check(self, series, channel_names=None) -> DataQualityReport:
+        """Diagnose ``series`` without modifying it.
+
+        A 2-D ``(steps, D)`` series is diagnosed per channel: the
+        returned report aggregates the counts, with the per-channel
+        detail on ``channel_reports``.
+        """
+        s = np.asarray(series, dtype=np.float64)
+        if s.ndim == 2:
+            if s.size == 0:
+                raise TraceValidationError("cannot sanitize an empty series")
+            names = self._channel_labels(s, channel_names)
+            subs = [self.check(s[:, d]) for d in range(s.shape[1])]
+            return self._combined(s, subs, names)
+        s = s.ravel()
         if s.size == 0:
             raise TraceValidationError("cannot sanitize an empty series")
         nan_mask = np.isnan(s)
@@ -195,15 +243,37 @@ class TraceSanitizer:
         )
 
     # ------------------------------------------------------------------
-    def sanitize(self, series) -> tuple[np.ndarray, DataQualityReport]:
+    def sanitize(self, series, channel_names=None) -> tuple[np.ndarray, DataQualityReport]:
         """Validate-and-repair; returns ``(repaired, report)``.
 
         Under ``reject`` any invalid value raises
         :class:`TraceValidationError`; otherwise the returned array is
         finite and non-negative.  A clean input is returned as an
         unmodified copy (bit-for-bit), so sanitization is idempotent.
+
+        A 2-D ``(steps, D)`` series repairs each channel independently
+        (gap interpolation in ``cpu`` never consults ``requests``); a
+        rejection names the offending channel.
         """
-        s = np.asarray(series, dtype=np.float64).ravel().copy()
+        s = np.asarray(series, dtype=np.float64)
+        if s.ndim == 2:
+            if s.size == 0:
+                raise TraceValidationError("cannot sanitize an empty series")
+            names = self._channel_labels(s, channel_names)
+            cols: list[np.ndarray] = []
+            subs: list[DataQualityReport] = []
+            for d in range(s.shape[1]):
+                label = names[d] if names else str(d)
+                try:
+                    col, rep = self.sanitize(s[:, d])
+                except TraceValidationError as exc:
+                    raise TraceValidationError(
+                        f"channel {label!r}: {exc}", report=exc.report
+                    ) from exc
+                cols.append(col)
+                subs.append(rep)
+            return np.column_stack(cols), self._combined(s, subs, names)
+        s = s.ravel().copy()
         report = self.check(s)
 
         bad = ~np.isfinite(s) | (s < 0)

@@ -25,6 +25,7 @@ from repro.traces.registry import (
     get_trace,
     list_configurations,
 )
+from repro.traces.multivariate import correlated_trace
 from repro.traces.stats import characterize
 from repro.traces.synthetic import (
     azure_trace,
@@ -48,6 +49,7 @@ __all__ = [
     "facebook_trace",
     "azure_trace",
     "lcg_trace",
+    "correlated_trace",
     "inject_flash_crowd",
     "inject_regime_shift",
     "TRACE_NAMES",

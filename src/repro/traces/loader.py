@@ -12,6 +12,7 @@ last 20% test.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -46,38 +47,112 @@ class WorkloadTrace:
     Attributes
     ----------
     name:
-        Trace identifier (``wiki``/``lcg``/``az``/``gl``/``fb``).
+        Trace identifier (``wiki``/``lcg``/``az``/``gl``/``fb``/``mv``).
     counts:
-        Non-negative arrivals per base minute.
+        Non-negative arrivals per base minute — 1-D for the paper's
+        univariate traces, or ``(minutes, D)`` for a multivariate trace
+        whose columns are correlated channels.
     category:
         The paper's application category (Web, HPC, Public Cloud, Data
         Center) — used only for reporting.
+    channel_names:
+        Optional per-channel labels of a multivariate trace (e.g.
+        ``("requests", "cpu", "memory")``); ``None`` for 1-D traces.
+    target_channel:
+        Which channel the framework forecasts (the paper's JAR series);
+        always 0 for 1-D traces.
     """
 
     name: str
     counts: np.ndarray
     category: str
+    channel_names: tuple | None = None
+    target_channel: int = 0
 
     def __post_init__(self):
         c = np.asarray(self.counts, dtype=np.float64)
-        if c.ndim != 1 or c.size == 0:
-            raise ValueError("counts must be a non-empty 1-D array")
-        if not np.all(np.isfinite(c)):
-            bad = int(np.size(c) - np.count_nonzero(np.isfinite(c)))
-            raise TraceValidationError(
-                f"counts must be finite ({bad} NaN/inf values); "
-                "repair with traces.load(..., repair=...) first"
-            )
-        if np.any(c < 0):
-            raise TraceValidationError("counts must be non-negative")
+        if c.ndim == 2:
+            if c.size == 0:
+                raise ValueError("counts must be non-empty")
+            names = self.channel_names
+            if names is not None:
+                names = tuple(str(x) for x in names)
+                if len(names) != c.shape[1]:
+                    raise ValueError(
+                        f"{len(names)} channel names for {c.shape[1]} channels"
+                    )
+                object.__setattr__(self, "channel_names", names)
+            if not 0 <= self.target_channel < c.shape[1]:
+                raise ValueError(
+                    f"target_channel {self.target_channel} out of range for "
+                    f"{c.shape[1]}-channel trace"
+                )
+            for d in range(c.shape[1]):
+                label = names[d] if names else str(d)
+                col = c[:, d]
+                if not np.all(np.isfinite(col)):
+                    bad = int(col.size - np.count_nonzero(np.isfinite(col)))
+                    raise TraceValidationError(
+                        f"channel {label!r}: counts must be finite "
+                        f"({bad} NaN/inf values); repair with "
+                        "traces.load(..., repair=...) first"
+                    )
+                if np.any(col < 0):
+                    raise TraceValidationError(
+                        f"channel {label!r}: counts must be non-negative"
+                    )
+        else:
+            if c.ndim != 1 or c.size == 0:
+                raise ValueError("counts must be a non-empty 1-D array")
+            if self.channel_names is not None:
+                raise ValueError("channel_names requires 2-D counts")
+            if self.target_channel != 0:
+                raise ValueError("target_channel must be 0 for a 1-D trace")
+            if not np.all(np.isfinite(c)):
+                bad = int(np.size(c) - np.count_nonzero(np.isfinite(c)))
+                raise TraceValidationError(
+                    f"counts must be finite ({bad} NaN/inf values); "
+                    "repair with traces.load(..., repair=...) first"
+                )
+            if np.any(c < 0):
+                raise TraceValidationError("counts must be non-negative")
         object.__setattr__(self, "counts", c)
 
     @property
     def minutes(self) -> int:
-        return int(self.counts.size)
+        return int(self.counts.shape[0])
+
+    @property
+    def n_channels(self) -> int:
+        return int(self.counts.shape[1]) if self.counts.ndim == 2 else 1
+
+    @property
+    def target(self) -> np.ndarray:
+        """The forecast channel's 1-D counts (the counts themselves if 1-D)."""
+        if self.counts.ndim == 2:
+            return self.counts[:, self.target_channel]
+        return self.counts
+
+    def channel(self, which: int | str) -> np.ndarray:
+        """1-D counts of one channel, by index or by name."""
+        if self.counts.ndim != 2:
+            if which in (0, "0"):
+                return self.counts
+            raise IndexError(f"1-D trace has no channel {which!r}")
+        if isinstance(which, str):
+            if self.channel_names is None or which not in self.channel_names:
+                raise KeyError(
+                    f"unknown channel {which!r}; names: {self.channel_names}"
+                )
+            which = self.channel_names.index(which)
+        return self.counts[:, int(which)]
 
     def at_interval(self, interval_minutes: int) -> np.ndarray:
-        """JARs of this trace at the given interval length."""
+        """JARs of this trace at the given interval length.
+
+        2-D for a multivariate trace: each channel aggregates
+        independently into ``(n_intervals, D)``.
+        """
         return aggregate(self.counts, interval_minutes)
 
 
@@ -115,8 +190,9 @@ class WorkloadConfig:
 
                 spec = fired["spike"]
                 magnitude = spec.arg if spec.arg is not None else 3.0
-                at = int(0.75 * series.size)
-                width = max(series.size // 50, 6)
+                n_steps = int(series.shape[0])
+                at = int(0.75 * n_steps)
+                width = max(n_steps // 50, 6)
                 series = inject_flash_crowd(
                     series, at, magnitude=magnitude, width=width
                 )
@@ -127,15 +203,25 @@ def aggregate(base_counts: np.ndarray, interval_minutes: int) -> np.ndarray:
     """Sum 1-minute counts into ``interval_minutes`` buckets.
 
     A trailing partial bucket is dropped — the paper's interval counts
-    are complete intervals only.
+    are complete intervals only.  ``(minutes, D)`` input aggregates each
+    channel independently into ``(n_intervals, D)``.
     """
-    c = np.asarray(base_counts, dtype=np.float64).ravel()
+    c = np.asarray(base_counts, dtype=np.float64)
+    if c.ndim != 2:
+        c = c.ravel()
     if interval_minutes < 1:
         raise ValueError("interval_minutes must be >= 1")
-    n_full = c.size // interval_minutes
+    n_minutes = int(c.shape[0])
+    n_full = n_minutes // interval_minutes
     if n_full == 0:
         raise ValueError(
-            f"trace of {c.size} minutes too short for {interval_minutes}-minute intervals"
+            f"trace of {n_minutes} minutes too short for {interval_minutes}-minute intervals"
+        )
+    if c.ndim == 2:
+        return (
+            c[: n_full * interval_minutes]
+            .reshape(n_full, interval_minutes, c.shape[1])
+            .sum(axis=1)
         )
     return c[: n_full * interval_minutes].reshape(n_full, interval_minutes).sum(axis=1)
 
@@ -147,28 +233,62 @@ def load(
     category: str = "unknown",
     repair: str | None = None,
     sanitizer=None,
+    channel_names=None,
+    target_channel: int = 0,
 ) -> WorkloadTrace:
     """Validate raw per-minute arrival counts into a :class:`WorkloadTrace`.
+
+    ``counts`` may be a 1-D array (the paper's univariate JAR stream), a
+    ``(minutes, D)`` array of correlated channels, or a path to a CSV
+    holding either shape (one row per minute, one column per channel).
 
     By default the ingestion is strict: any NaN/inf or negative count
     raises :class:`TraceValidationError` — real traces arrive with
     export glitches, and silently windowing them poisons every model
-    downstream.  Pass ``repair`` (``"interpolate"``, ``"clip"`` or
-    ``"ffill"``) to route the series through
-    :class:`repro.serving.sanitize.TraceSanitizer` and ingest the
-    repaired values instead, or hand in a pre-configured ``sanitizer``
-    (which wins over ``repair``).
+    downstream.  For multivariate input the error names the offending
+    channel (by ``channel_names`` entry when given, else by index).
+    Pass ``repair`` (``"interpolate"``, ``"clip"`` or ``"ffill"``) to
+    route the series through
+    :class:`repro.serving.sanitize.TraceSanitizer` — applied per channel
+    for 2-D input — and ingest the repaired values instead, or hand in
+    a pre-configured ``sanitizer`` (which wins over ``repair``).
     """
-    c = np.asarray(counts, dtype=np.float64).ravel()
+    if isinstance(counts, (str, Path)):
+        counts = np.loadtxt(counts, delimiter=",", ndmin=1, dtype=np.float64)
+    c = np.asarray(counts, dtype=np.float64)
+    if c.ndim != 2:
+        c = c.ravel()
     if c.size == 0:
-        raise TraceValidationError("counts must be a non-empty 1-D array")
+        raise TraceValidationError("counts must be non-empty")
+    if c.ndim == 2 and c.shape[1] == 1:
+        # A single-column CSV is the univariate case, not a D=1 trace.
+        c = c.ravel()
     if repair is not None or sanitizer is not None:
         # Lazy import: the sanitizer lives in the serving layer, which
         # itself imports this module for the error type.
         from repro.serving.sanitize import TraceSanitizer
 
         san = sanitizer if sanitizer is not None else TraceSanitizer(policy=repair)
-        c, _report = san.sanitize(c)
+        if c.ndim == 2:
+            c, _report = san.sanitize(c, channel_names=channel_names)
+        else:
+            c, _report = san.sanitize(c)
+    elif c.ndim == 2:
+        names = (
+            tuple(str(x) for x in channel_names) if channel_names is not None else None
+        )
+        for d in range(c.shape[1]):
+            col = c[:, d]
+            n_bad = int(col.size - np.count_nonzero(np.isfinite(col)))
+            n_neg = int(np.count_nonzero(col < 0))
+            if n_bad or n_neg:
+                label = names[d] if names else str(d)
+                raise TraceValidationError(
+                    f"trace {name!r} channel {label!r} has {n_bad} non-finite "
+                    f"and {n_neg} negative counts; pass "
+                    "repair='interpolate'|'clip'|'ffill' to ingest a "
+                    "repaired copy"
+                )
     else:
         n_bad = int(c.size - np.count_nonzero(np.isfinite(c)))
         n_neg = int(np.count_nonzero(c < 0))
@@ -178,6 +298,14 @@ def load(
                 "counts; pass repair='interpolate'|'clip'|'ffill' to ingest "
                 "a repaired copy"
             )
+    if c.ndim == 2:
+        return WorkloadTrace(
+            name=name,
+            counts=c,
+            category=category,
+            channel_names=channel_names,
+            target_channel=target_channel,
+        )
     return WorkloadTrace(name=name, counts=c, category=category)
 
 
@@ -189,14 +317,17 @@ def train_val_test_split(
     """Chronological 60/20/20 split (paper Fig. 7 / Section IV-A).
 
     Returns (train, cross-validation, test) views — no copying, no
-    shuffling: temporal order is the whole point of the split.
+    shuffling: temporal order is the whole point of the split.  A 2-D
+    ``(steps, D)`` series splits along its time axis (rows).
     """
-    s = np.asarray(series, dtype=np.float64).ravel()
+    s = np.asarray(series, dtype=np.float64)
+    if s.ndim != 2:
+        s = s.ravel()
     if not 0.0 < train_frac < 1.0 or not 0.0 < val_frac < 1.0:
         raise ValueError("fractions must be in (0, 1)")
     if train_frac + val_frac >= 1.0:
         raise ValueError("train_frac + val_frac must leave room for a test split")
-    n = s.size
+    n = int(s.shape[0])
     i1 = int(round(train_frac * n))
     i2 = int(round((train_frac + val_frac) * n))
     if i1 < 1 or i2 <= i1 or i2 >= n:

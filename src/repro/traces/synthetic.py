@@ -94,6 +94,8 @@ def inject_flash_crowd(
     ramp: int = 2,
     jitter: float = 0.0,
     seed: int = 0,
+    target_channel: int = 0,
+    bleed: float = 0.0,
 ) -> np.ndarray:
     """Overlay a flash crowd on ``counts`` — returns a new array.
 
@@ -107,8 +109,37 @@ def inject_flash_crowd(
     Deterministic in ``(at, magnitude, width, ramp, jitter, seed)``;
     ``jitter`` adds seeded multiplicative noise (std as a fraction of
     the disturbance) so repeated spikes are not carbon copies.
+
+    A 2-D ``(steps, D)`` series spikes in ``target_channel``; ``bleed``
+    in ``[0, 1]`` couples a proportionally smaller surge (magnitude
+    scaled toward 1 by ``bleed``) into every other channel — a request
+    flood drags cpu/memory up with it, just less sharply.
     """
-    c = np.asarray(counts, dtype=np.float64).copy()
+    c = np.asarray(counts, dtype=np.float64)
+    if c.ndim == 2:
+        if not 0 <= target_channel < c.shape[1]:
+            raise ValueError(
+                f"target_channel {target_channel} out of range for "
+                f"{c.shape[1]}-channel series"
+            )
+        if not 0.0 <= bleed <= 1.0:
+            raise ValueError("bleed must be in [0, 1]")
+        out = c.copy()
+        out[:, target_channel] = inject_flash_crowd(
+            c[:, target_channel], at, magnitude=magnitude, width=width,
+            ramp=ramp, jitter=jitter, seed=seed,
+        )
+        if bleed > 0.0:
+            side = 1.0 + (magnitude - 1.0) * bleed
+            for d in range(c.shape[1]):
+                if d == target_channel:
+                    continue
+                out[:, d] = inject_flash_crowd(
+                    c[:, d], at, magnitude=side, width=width,
+                    ramp=ramp, jitter=jitter, seed=seed,
+                )
+        return out
+    c = c.copy()
     if not 0 <= at < c.size:
         raise ValueError("at must be inside the series")
     if magnitude < 1.0:
@@ -139,6 +170,8 @@ def inject_regime_shift(
     ramp: int = 0,
     jitter: float = 0.0,
     seed: int = 0,
+    target_channel: int = 0,
+    bleed: float = 0.0,
 ) -> np.ndarray:
     """Apply a persistent level shift to ``counts[at:]`` — returns a new array.
 
@@ -148,8 +181,36 @@ def inject_regime_shift(
     linearly over that many intervals; ``jitter`` adds seeded
     multiplicative noise to the shifted region.  Deterministic in
     ``(at, factor, ramp, jitter, seed)``.
+
+    A 2-D ``(steps, D)`` series shifts in ``target_channel``; ``bleed``
+    in ``[0, 1]`` applies a proportionally damped shift (factor scaled
+    toward 1 by ``bleed``) to every other channel.
     """
-    c = np.asarray(counts, dtype=np.float64).copy()
+    c = np.asarray(counts, dtype=np.float64)
+    if c.ndim == 2:
+        if not 0 <= target_channel < c.shape[1]:
+            raise ValueError(
+                f"target_channel {target_channel} out of range for "
+                f"{c.shape[1]}-channel series"
+            )
+        if not 0.0 <= bleed <= 1.0:
+            raise ValueError("bleed must be in [0, 1]")
+        out = c.copy()
+        out[:, target_channel] = inject_regime_shift(
+            c[:, target_channel], at, factor=factor, ramp=ramp,
+            jitter=jitter, seed=seed,
+        )
+        if bleed > 0.0:
+            side = 1.0 + (factor - 1.0) * bleed
+            for d in range(c.shape[1]):
+                if d == target_channel:
+                    continue
+                out[:, d] = inject_regime_shift(
+                    c[:, d], at, factor=side, ramp=ramp,
+                    jitter=jitter, seed=seed,
+                )
+        return out
+    c = c.copy()
     if not 0 <= at < c.size:
         raise ValueError("at must be inside the series")
     if factor <= 0.0:

@@ -47,7 +47,14 @@ from repro.nn.lstm import LSTMLayer
 @pytest.mark.parametrize("layer_cls", [LSTMLayer, GRULayer])
 @pytest.mark.parametrize(
     "B,T,D,H",
-    [(1, 14, 1, 9), (150, 14, 1, 9), (8, 5, 3, 4), (64, 48, 1, 32)],
+    [
+        (1, 14, 1, 9),
+        (150, 14, 1, 9),
+        (8, 5, 3, 4),
+        (64, 48, 1, 32),
+        (32, 20, 4, 12),
+        (1, 30, 5, 8),
+    ],
 )
 def test_forward_inference_bitwise_parity(layer_cls, B, T, D, H):
     rng = np.random.default_rng(0)
@@ -85,14 +92,31 @@ def test_forward_inference_h0_parity(layer_cls):
 
 
 @pytest.mark.parametrize("cell", ["lstm", "gru"])
-def test_predict_matches_cached_forward(cell):
+@pytest.mark.parametrize("input_size", [1, 3])
+def test_predict_matches_cached_forward(cell, input_size):
     """LSTMRegressor.predict (fast path) == the cached training forward."""
     rng = np.random.default_rng(3)
-    model = LSTMRegressor(hidden_size=7, num_layers=3, seed=5, cell=cell)
-    x = rng.standard_normal((33, 12, 1))
+    model = LSTMRegressor(
+        hidden_size=7, num_layers=3, seed=5, cell=cell, input_size=input_size
+    )
+    x = rng.standard_normal((33, 12, input_size))
     fast = model.predict(x)
     cached, _ = model._forward(model._coerce_input(x))
     assert np.array_equal(fast, cached)
+
+
+@pytest.mark.parametrize("layer_cls", [LSTMLayer, GRULayer])
+def test_forward_inference_scratch_reuse_multivariate(layer_cls):
+    """Scratch-slab reuse holds for D>1 inputs too (xw_tm slab width D*G)."""
+    rng = np.random.default_rng(13)
+    layer = layer_cls(3, 6, rng)
+    x1 = rng.standard_normal((12, 9, 3))
+    x2 = rng.standard_normal((12, 9, 3))
+    layer.forward_inference(x1)
+    scratch = layer._scratch
+    out2 = layer.forward_inference(x2)
+    assert layer._scratch is scratch
+    assert np.array_equal(layer.forward(x2)[0], out2)
 
 
 def test_predict_chunked_matches_single():
