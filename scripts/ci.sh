@@ -56,6 +56,34 @@ REPRO_FAULTS="corrupt@model.load:1" \
     PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro.cli simulate \
     fb-10m --guarded --model-dir "$SERVE_DIR/model"
 
+echo "== streaming chaos (kill mid-stream; resume must be bit-for-bit) =="
+STREAM_ARGS=(stream fb-10m --model-dir "$SERVE_DIR/model" --chunk-size 8
+    --checkpoint-every 1 --deadline-s 7200 --monitor)
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro.cli \
+    "${STREAM_ARGS[@]}" --checkpoint-dir "$SERVE_DIR/ck-ref" \
+    --report-out "$SERVE_DIR/ref.json"
+if REPRO_FAULTS="kill@stream.chunk:3" \
+    PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro.cli \
+    "${STREAM_ARGS[@]}" --checkpoint-dir "$SERVE_DIR/ck" \
+    --report-out "$SERVE_DIR/crashed.json" 2>/dev/null; then
+    echo "streaming chaos FAILED: injected kill did not crash the stream"
+    exit 1
+fi
+[[ ! -e "$SERVE_DIR/crashed.json" ]] \
+    || { echo "streaming chaos FAILED: crashed run wrote a report"; exit 1; }
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro.cli \
+    "${STREAM_ARGS[@]}" --checkpoint-dir "$SERVE_DIR/ck" --resume \
+    --report-out "$SERVE_DIR/resumed.json"
+python - "$SERVE_DIR/ref.json" "$SERVE_DIR/resumed.json" <<'PYEOF'
+import json, sys
+ref, res = (json.load(open(p)) for p in sys.argv[1:3])
+assert ref["schedule_hex"] == res["schedule_hex"], \
+    "provisioning schedule diverged after resume"
+assert ref == res, "resumed ServingReport is not bit-for-bit identical"
+print("streaming chaos OK: resume bit-for-bit identical "
+      f"({len(ref['schedule_hex']) // 16} intervals)")
+PYEOF
+
 echo "== monitoring smoke (injected serving drift must fire detectors + refit) =="
 MON_OUT="$(REPRO_FAULTS='drift@serve.predict:60=4' \
     PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro.cli simulate \
@@ -97,6 +125,8 @@ import json, math, sys
 metrics = json.load(open(sys.argv[1]))["metrics"]
 for gauge in ("bench.serving.stream_intervals_per_s",
               "bench.serving.pipeline_intervals_per_s",
+              "bench.serving.chunked_intervals_per_s",
+              "bench.serving.checkpoint_overhead_pct",
               "bench.serving.monitor_overhead_pct",
               "bench.serving.predict_p50_ms",
               "bench.serving.predict_p99_ms"):

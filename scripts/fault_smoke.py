@@ -26,7 +26,12 @@ behaviour:
   reactive tier (``decided_by``), never crashing the schedule;
 * a drift-latched detector shared with the controller — burst mode
   engages while forecasts underpredict and clears (resetting the
-  detector) once provisioning is adequate again.
+  detector) once provisioning is adequate again;
+* ``kill@stream.chunk`` + ``--resume`` — a streamed serve dies
+  mid-chunk, resumes from the latest checkpoint, and produces a
+  bit-for-bit identical schedule and report;
+* ``stall@stream.chunk`` — a stalled feed degrades to hold-last for
+  exactly the stalled intervals, then recovers to normal serving.
 
 Exit status: 0 when every scenario recovers as specified, 1 otherwise.
 """
@@ -296,6 +301,78 @@ def smoke_controller_burst(series) -> None:
         "clearing burst must reset the still-latched drift detector"
 
 
+def _stream_serve(series, start, *, ckpt, resume=False, faults_spec=None,
+                  deadline_s=None):
+    from repro.obs.metrics import reset_metrics
+    from repro.obs.monitor import ForecastMonitor
+    from repro.serving import (
+        GuardedPredictor,
+        StreamConfig,
+        TraceSanitizer,
+        default_fallbacks,
+        serve_and_simulate,
+    )
+
+    reset_metrics()  # counter parity needs a fresh registry per run
+    guarded = GuardedPredictor(None, fallbacks=default_fallbacks(24))
+    cfg = StreamConfig(
+        chunk_size=16, size_jitter=4, seed=5, checkpoint_every=2,
+        checkpoint_dir=ckpt, resume=resume, deadline_s=deadline_s,
+    )
+    kwargs = dict(
+        monitor=ForecastMonitor(), stream=cfg,
+        sanitizer=TraceSanitizer(policy="interpolate"),
+    )
+    if faults_spec is not None:
+        with faults.injected(faults_spec):
+            return serve_and_simulate(guarded, series, start, **kwargs)
+    return serve_and_simulate(guarded, series, start, **kwargs)
+
+
+def smoke_stream_kill_resume(series) -> None:
+    """Kill a streamed serve mid-chunk; resume must be bit-for-bit."""
+    with tempfile.TemporaryDirectory() as tmp:
+        ref = _stream_serve(series, 120, ckpt=str(Path(tmp) / "ref"))
+        crash_dir = str(Path(tmp) / "crash")
+        try:
+            _stream_serve(series, 120, ckpt=crash_dir,
+                          faults_spec="kill@stream.chunk:5")
+        except SimulatedCrash:
+            logger.info("simulated stream crash landed as planned")
+        else:
+            raise AssertionError("kill@stream.chunk did not fire")
+        assert (Path(crash_dir) / "checkpoint.json").exists(), \
+            "the crashed run must have left a checkpoint behind"
+        resumed = _stream_serve(series, 120, ckpt=crash_dir, resume=True)
+        assert resumed.schedule.tobytes() == ref.schedule.tobytes(), \
+            "resumed schedule must be bit-for-bit identical"
+        assert resumed.serving_counters == ref.serving_counters, \
+            "resumed serving counters must match the uninterrupted run"
+        assert resumed.result.vm_seconds == ref.result.vm_seconds
+
+
+def smoke_stream_stall(series) -> None:
+    """A stalled feed must degrade to hold-last, then recover in place."""
+    with tempfile.TemporaryDirectory() as tmp:
+        report = _stream_serve(
+            series, 120, ckpt=str(Path(tmp) / "ck"), deadline_s=30.0,
+            faults_spec="stall@stream.chunk:3=120",
+        )
+        stalls = report.stream["stalls"]
+        assert len(stalls) == 1, f"exactly one stall expected, got {stalls}"
+        stall = stalls[0]
+        assert stall["gap_s"] > stall["deadline_s"]
+        assert report.stream["held_intervals"] == stall["intervals_held"] > 0
+        held = report.schedule[
+            stall["offset"] : stall["offset"] + stall["intervals_held"]
+        ]
+        assert np.all(held == held[0]), "stalled intervals must hold last"
+        assert report.stream["served_intervals"] == (
+            report.stream["intervals"] - stall["intervals_held"]
+        ), "serving must recover to normal after the stall"
+        assert np.all(np.isfinite(report.schedule))
+
+
 SCENARIOS = (
     smoke_nan_loss,
     smoke_gp_linalg,
@@ -308,6 +385,8 @@ SCENARIOS = (
     smoke_corrupt_model,
     smoke_controller_reactive_takeover,
     smoke_controller_burst,
+    smoke_stream_kill_resume,
+    smoke_stream_stall,
 )
 
 

@@ -506,6 +506,90 @@ class HybridController:
             self._last_tag = tag
 
     # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-serializable mutable control-loop state.
+
+        Captures the full decision log (with provenance), the corrector
+        terms, the burst latch, the rail/cooldown bookkeeping, and — when
+        the attached drift detector supports it — the detector's state.
+        Loading the same detector state twice (here and via a
+        :class:`~repro.obs.monitor.monitor.ForecastMonitor` sharing the
+        instance) is idempotent, so shared detectors stay consistent.
+        """
+        out: dict = {
+            "decisions": [
+                [d.vms, d.decided_by, d.target, list(d.rails), d.burst,
+                 d.forecast, d.correction]
+                for d in self.decisions
+            ],
+            "decided_by": dict(self.decided_by),
+            "rail_hits": dict(self.rail_hits),
+            "burst": self.burst,
+            "burst_reason": self.burst_reason,
+            "burst_episodes": self.burst_episodes,
+            "errors": list(self._errors),
+            "integral": self._integral,
+            "prev_error": self._prev_error,
+            "derivative": self._derivative,
+            "last_forecast": self._last_forecast,
+            "last_vms": self._last_vms,
+            "under_streak": self._under_streak,
+            "clean_streak": self._clean_streak,
+            "cooldown": self._cooldown,
+            "last_tag": self._last_tag,
+        }
+        if self.drift_detector is not None and hasattr(
+            self.drift_detector, "state_dict"
+        ):
+            out["drift_detector"] = self.drift_detector.state_dict()
+        return out
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output onto a same-config instance."""
+        cfg = self.config
+        errors = [float(e) for e in state["errors"]]
+        if len(errors) > cfg.error_window:
+            raise ValueError(
+                f"{len(errors)} saved errors exceed error_window "
+                f"{cfg.error_window}"
+            )
+        self.decisions = [
+            Decision(
+                vms=int(vms), decided_by=str(tag), target=float(target),
+                rails=tuple(str(r) for r in rails), burst=bool(burst),
+                forecast=float(forecast), correction=float(correction),
+            )
+            for vms, tag, target, rails, burst, forecast, correction
+            in state["decisions"]
+        ]
+        self.decided_by = {str(k): int(v) for k, v in state["decided_by"].items()}
+        self.rail_hits = {str(k): int(v) for k, v in state["rail_hits"].items()}
+        self.burst = bool(state["burst"])
+        reason = state["burst_reason"]
+        self.burst_reason = str(reason) if reason is not None else None
+        self.burst_episodes = int(state["burst_episodes"])
+        self._errors = deque(errors, maxlen=cfg.error_window)
+        self._integral = float(state["integral"])
+        prev = state["prev_error"]
+        self._prev_error = float(prev) if prev is not None else None
+        self._derivative = float(state["derivative"])
+        last_f = state["last_forecast"]
+        self._last_forecast = float(last_f) if last_f is not None else None
+        last_v = state["last_vms"]
+        self._last_vms = int(last_v) if last_v is not None else None
+        self._under_streak = int(state["under_streak"])
+        self._clean_streak = int(state["clean_streak"])
+        self._cooldown = int(state["cooldown"])
+        tag = state["last_tag"]
+        self._last_tag = str(tag) if tag is not None else None
+        if "drift_detector" in state and self.drift_detector is not None and hasattr(
+            self.drift_detector, "load_state_dict"
+        ):
+            self.drift_detector.load_state_dict(state["drift_detector"])
+
+    # ------------------------------------------------------------------
     @property
     def integral(self) -> float:
         """Current (anti-windup-clamped) error integral."""

@@ -23,7 +23,11 @@ module packages those as deterministic :class:`Scenario` fixtures and a
   controller's provenance visibly shifts to the reactive tier);
 * ``drift_fault`` — ``drift@serve.predict`` scales every forecast to
   40% of its value mid-run: a silent model degradation only the error
-  feedback (PID correction, drift-latched burst) can catch.
+  feedback (PID correction, drift-latched burst) can catch;
+* ``seasonality_break`` — the diurnal period halves mid-serve (a
+  deploy changes the batch cadence): every period-48 seasonal forecast
+  is suddenly half a cycle out of phase, the worst case for a
+  forecaster whose seasonality assumption was *correct* until now.
 
 Every scenario is deterministic in its seed; fault runs install a fresh
 :class:`~repro.resilience.faults.FaultInjector` per policy so invocation
@@ -69,6 +73,7 @@ SCENARIO_NAMES = (
     "corruption",
     "nan_flash",
     "drift_fault",
+    "seasonality_break",
 )
 
 #: Policy families the harness compares.
@@ -146,6 +151,19 @@ def default_scenarios(
     # window so the run exercises detection, not calibration.
     drift_at = 60
 
+    # Seasonality break: from mid-serve onward the diurnal cycle runs at
+    # half the period (same mean level), so a period-length seasonal
+    # forecast is alternately half a cycle out of phase.
+    break_at = start + serve_len // 2
+    half = max(2, period // 2)
+    t = np.arange(n, dtype=np.float64)
+    phase = (t % half) / half
+    lam = level * (0.7 + 0.6 * 0.5 * (1.0 + np.cos(2.0 * np.pi * (phase - 0.6))))
+    broken = base.copy()
+    broken[break_at:] = (
+        np.random.default_rng(seed + 101).poisson(lam[break_at:]).astype(np.float64)
+    )
+
     return [
         Scenario(
             "steady",
@@ -178,6 +196,12 @@ def default_scenarios(
             "drift@serve.predict silently scales forecasts to 40% mid-run",
             base, base, start,
             faults=f"drift@serve.predict:{drift_at}=0.4",
+        ),
+        Scenario(
+            "seasonality_break",
+            "diurnal period halves mid-serve — seasonal forecasts go "
+            "half a cycle out of phase",
+            broken, broken, start,
         ),
     ]
 

@@ -11,6 +11,10 @@ Commands map 1:1 to the experiment runners and the core workflow:
   study, optionally ``--guarded`` (sanitization, fallbacks, breaker)
   and/or ``--monitor`` (rolling accuracy, drift detection, SLO health;
   ``--metrics-out`` dumps the metrics registry to JSON);
+* ``stream`` — serve a chunked feed through the crash-safe streaming
+  runtime (per-chunk sanitation, stall watchdog, backpressure) with
+  ``--checkpoint-dir``/``--resume`` giving bit-for-bit resume after a
+  kill;
 * ``autoscale`` — run the adversarial scenario matrix (flash crowds,
   regime shifts, trace corruption, injected serving faults) comparing
   predictive vs reactive vs hybrid provisioning policies;
@@ -143,6 +147,57 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--metrics-out", metavar="PATH.json", default=None,
                      help="write the full metrics-registry snapshot to this "
                           "JSON file after the run (implies --monitor)")
+
+    strm = sub.add_parser(
+        "stream",
+        help="serve a chunked feed with checkpoints and crash-safe resume",
+    )
+    strm.add_argument("config", help="workload configuration key, e.g. gl-30m")
+    strm.add_argument("--model-dir", metavar="DIR", default=None,
+                      help="serve a predictor saved by `repro fit --save` "
+                           "(default: serve from the fallback chain alone)")
+    strm.add_argument("--start-frac", type=float, default=0.8,
+                      help="stream the last (1 - START_FRAC) of the trace "
+                           "(default 0.8)")
+    strm.add_argument("--chunk-size", type=int, default=64,
+                      help="nominal intervals per feed chunk (default 64)")
+    strm.add_argument("--size-jitter", type=int, default=0,
+                      help="uniform +/- jitter on each chunk's size (default 0)")
+    strm.add_argument("--checkpoint-every", type=int, default=100, metavar="K",
+                      help="checkpoint every K processed chunks (default 100; "
+                           "0 = final checkpoint only)")
+    strm.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                      help="where checkpoint.json and the .f64 sidecars live "
+                           "(default: no checkpointing)")
+    strm.add_argument("--resume", action="store_true",
+                      help="restore from --checkpoint-dir and continue the "
+                           "interrupted stream bit-for-bit")
+    strm.add_argument("--deadline-s", type=float, default=None, metavar="S",
+                      help="stall watchdog: an inter-chunk gap beyond S "
+                           "seconds degrades that chunk to hold-last")
+    strm.add_argument("--queue-capacity", type=int, default=None, metavar="N",
+                      help="backpressure bound in backlog intervals; chunks "
+                           "arriving over it are load-shed")
+    strm.add_argument("--service-time", type=float, default=0.0, metavar="S",
+                      help="logical seconds the server needs per interval "
+                           "(0 disables the backpressure model)")
+    strm.add_argument("--repair", default="interpolate",
+                      choices=("interpolate", "clip", "ffill", "reject"),
+                      help="per-chunk sanitizer policy; chunks it cannot "
+                           "repair are quarantined (default: interpolate)")
+    strm.add_argument("--refit-every", type=int, default=None, metavar="K",
+                      help="refit the predictor every K served intervals "
+                           "(default: never — streamed models are frozen)")
+    strm.add_argument("--seed", type=int, default=0,
+                      help="chunking-jitter seed (default 0)")
+    strm.add_argument("--monitor", action="store_true",
+                      help="attach online forecast-quality monitoring "
+                           "(scored in logical time)")
+    strm.add_argument("--slo-mape", type=float, default=None, metavar="PCT",
+                      help="per-interval accuracy objective (implies --monitor)")
+    strm.add_argument("--report-out", metavar="PATH.json", default=None,
+                      help="write the canonical ServingReport JSON (schedule "
+                           "hex + all sections) for bit-for-bit comparison")
 
     auto = sub.add_parser(
         "autoscale",
@@ -461,6 +516,139 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _cmd_stream(args) -> int:
+    from repro.serving import (
+        GuardedPredictor,
+        StreamConfig,
+        TraceSanitizer,
+        daily_period,
+        default_fallbacks,
+        serve_and_simulate,
+    )
+
+    if not 0.0 < args.start_frac < 1.0:
+        print("error: --start-frac must be in (0, 1)", file=sys.stderr)
+        return 2
+    if args.resume and not args.checkpoint_dir:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+
+    want_monitor = args.monitor or args.slo_mape is not None
+    monitor = None
+    if want_monitor:
+        from repro.obs.monitor import ForecastMonitor, SLOTracker
+
+        slo = (
+            SLOTracker(accuracy_slo_mape=args.slo_mape)
+            if args.slo_mape is not None else None
+        )
+        monitor = ForecastMonitor(slo=slo)
+
+    cfg, series = _load_series(args)
+    if series.ndim != 1:
+        print("error: streaming serving is univariate; pick a 1-D trace",
+              file=sys.stderr)
+        return 2
+    start = int(len(series) * args.start_frac)
+    fallbacks = default_fallbacks(daily_period(cfg.interval_minutes))
+    if args.model_dir:
+        predictor = GuardedPredictor.load(
+            args.model_dir, on_corrupt="fallback", fallbacks=fallbacks
+        )
+    else:
+        # No model: serve from the fallback chain alone — fast,
+        # deterministic, and exactly what a corrupt-model degradation
+        # serves, so it is the canonical parity-check predictor too.
+        predictor = GuardedPredictor(None, fallbacks=fallbacks)
+
+    try:
+        stream_cfg = StreamConfig(
+            chunk_size=args.chunk_size,
+            size_jitter=args.size_jitter,
+            seed=args.seed,
+            deadline_s=args.deadline_s,
+            queue_capacity=args.queue_capacity,
+            service_time_per_interval=args.service_time,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = serve_and_simulate(
+        predictor, series, start,
+        refit_every=args.refit_every,
+        monitor=monitor,
+        stream=stream_cfg,
+        sanitizer=TraceSanitizer(policy=args.repair),
+    )
+    res = report.result
+    strm = report.stream or {}
+    print(f"workload          : {args.config} "
+          f"(streamed {res.n_intervals} of {len(series)} intervals)")
+    print(f"predictor         : {predictor.name}")
+    print(f"chunks            : {strm.get('chunks', 0)} "
+          f"(checkpoints {strm.get('checkpoints_written', 0)})")
+    print(f"served intervals  : {strm.get('served_intervals', 0)} normal, "
+          f"{strm.get('held_intervals', 0)} held, "
+          f"{strm.get('quarantined_intervals', 0)} quarantined")
+    if strm.get("gap_intervals") or strm.get("shed_chunks"):
+        print(f"degraded feed     : {strm.get('gap_intervals', 0)} gap "
+              f"intervals, {strm.get('shed_chunks', 0)} chunks shed "
+              f"({strm.get('shed_intervals', 0)} intervals)")
+    for s in strm.get("stalls", []):
+        print(f"stall             : chunk {s['chunk_index']} arrived "
+              f"{s['gap_s']:.1f}s late (deadline {s['deadline_s']:.1f}s), "
+              f"{s['intervals_held']} intervals held")
+    for q in strm.get("quarantine", []):
+        print(f"quarantined       : chunk {q['chunk']} "
+              f"({q['intervals']} intervals): {q['reason']}")
+    print(f"mean turnaround   : {res.mean_turnaround:.1f}s")
+    print(f"under-provisioned : {res.underprovision_rate:.1f}%")
+    print(f"over-provisioned  : {res.overprovision_rate:.1f}%")
+    print(f"VM time paid      : {res.vm_seconds / 3600.0:.1f} VM-hours")
+    if report.served_by:
+        stages = " ".join(f"{k}={v}" for k, v in sorted(report.served_by.items()))
+        print(f"served by         : {stages}")
+    if monitor is not None:
+        window = (report.quality or {}).get("window", {})
+        if window.get("mape") is not None:
+            print(f"rolling MAPE      : {window['mape']:.2f}% "
+                  f"(bias {window['bias']:+.1f}, window {window['size']})")
+        health = report.health or {}
+        reasons = "; ".join(health.get("reasons", [])) or "all objectives met"
+        print(f"health            : {health.get('status', 'unknown')} ({reasons})")
+    if args.report_out:
+        import json
+
+        doc = {
+            "schema": 1,
+            "schedule_hex": report.schedule.tobytes().hex(),
+            "result": {
+                "n_intervals": res.n_intervals,
+                "mean_turnaround": res.mean_turnaround,
+                "underprovision_rate": res.underprovision_rate,
+                "overprovision_rate": res.overprovision_rate,
+                "vm_seconds": res.vm_seconds,
+            },
+            "serving_counters": report.serving_counters,
+            "served_by": report.served_by,
+            "breaker_state": report.breaker_state,
+            "breaker_transitions": report.breaker_transitions,
+            "quality": report.quality,
+            "drift": report.drift,
+            "slo": report.slo,
+            "health": report.health,
+            "controller": report.controller,
+            "stream": report.stream,
+        }
+        with open(args.report_out, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+        print(f"report written to : {args.report_out}")
+    return 0
+
+
 def _cmd_autoscale(args) -> int:
     from repro.autoscale.scenarios import (
         POLICY_NAMES,
@@ -612,6 +800,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_predict(args)
         if args.command == "simulate":
             return _cmd_simulate(args)
+        if args.command == "stream":
+            return _cmd_stream(args)
         if args.command == "autoscale":
             return _cmd_autoscale(args)
         if args.command == "metrics":

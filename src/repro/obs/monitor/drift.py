@@ -85,6 +85,10 @@ class DriftDetectorBase:
 
     name = "detector"
 
+    #: Attribute names of the subclass's mutable scalar state, serialized
+    #: verbatim by :meth:`state_dict` (config knobs are not included).
+    _STATE_SCALARS: tuple[str, ...] = ()
+
     def __init__(self):
         self.drifted = False
         self.statistic = 0.0
@@ -98,6 +102,35 @@ class DriftDetectorBase:
 
     def _reset_state(self) -> None:
         raise NotImplementedError
+
+    # -- persistence ---------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-serializable mutable state (latch, counters, ledgers)."""
+        out = {
+            "name": self.name,
+            "drifted": self.drifted,
+            "statistic": self.statistic,
+            "n": self.n,
+            "fired_at": self.fired_at,
+        }
+        for field in self._STATE_SCALARS:
+            out[field] = getattr(self, field)
+        return out
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output onto a same-config instance."""
+        if state.get("name") != self.name:
+            raise ValueError(
+                f"state from detector {state.get('name')!r} cannot load "
+                f"into {self.name!r}"
+            )
+        self.drifted = bool(state["drifted"])
+        self.statistic = float(state["statistic"])
+        self.n = int(state["n"])
+        fired_at = state["fired_at"]
+        self.fired_at = int(fired_at) if fired_at is not None else None
+        for field in self._STATE_SCALARS:
+            setattr(self, field, state[field])
 
     # ------------------------------------------------------------------
     def update(self, error: float) -> bool:
@@ -165,6 +198,9 @@ class CusumDetector(DriftDetectorBase):
     """
 
     name = "cusum"
+    _STATE_SCALARS = (
+        "_cal_n", "_cal_mean", "_cal_m2", "_mu", "_sigma", "_g_pos", "_g_neg",
+    )
 
     def __init__(
         self,
@@ -249,6 +285,7 @@ class PageHinkleyDetector(DriftDetectorBase):
     """
 
     name = "page-hinkley"
+    _STATE_SCALARS = ("_count", "_mean", "_cum", "_cum_min")
 
     def __init__(
         self,

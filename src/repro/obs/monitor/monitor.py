@@ -98,6 +98,41 @@ class ForecastMonitor:
         return ape
 
     # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-serializable composed state for crash-safe serving resume.
+
+        Covers the quality tracker, every detector (position-matched to
+        the construction-time detector list), the SLO ledgers, and the
+        interval counters.  All restores mutate the composed objects in
+        place, so the prebound hot-path methods stay valid.
+        """
+        return {
+            "intervals": self.intervals,
+            "published_intervals": self._published_intervals,
+            "quality": self.quality.state_dict(),
+            "detectors": [d.state_dict() for d in self.detectors],
+            "slo": self.slo.state_dict() if self.slo is not None else None,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output onto a same-config instance."""
+        saved = state["detectors"]
+        if len(saved) != len(self.detectors):
+            raise ValueError(
+                f"{len(saved)} saved detector states for "
+                f"{len(self.detectors)} configured detectors"
+            )
+        if (state["slo"] is None) != (self.slo is None):
+            raise ValueError("saved SLO state does not match configuration")
+        self.intervals = int(state["intervals"])
+        self._published_intervals = int(state["published_intervals"])
+        self.quality.load_state_dict(state["quality"])
+        for detector, det_state in zip(self.detectors, saved):
+            detector.load_state_dict(det_state)
+        if self.slo is not None:
+            self.slo.load_state_dict(state["slo"])
+
+    # ------------------------------------------------------------------
     @property
     def drifted(self) -> bool:
         """True when any detector has latched."""

@@ -60,6 +60,21 @@ class _Accumulator:
         self.over += rec[4]
         self.under += rec[5]
 
+    def state_dict(self) -> dict:
+        return {
+            "n": self.n, "err": self.err, "ae": self.ae, "ape": self.ape,
+            "sape": self.sape, "over": self.over, "under": self.under,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.n = int(state["n"])
+        self.err = float(state["err"])
+        self.ae = float(state["ae"])
+        self.ape = float(state["ape"])
+        self.sape = float(state["sape"])
+        self.over = int(state["over"])
+        self.under = int(state["under"])
+
     def snapshot(self) -> dict:
         n = self.n
         if n == 0:
@@ -172,6 +187,33 @@ class QualityTracker:
         for rec in self._recent:
             fresh.add(rec)
         self._roll = fresh
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-serializable mutable state for crash-safe serving resume.
+
+        The rolling accumulator is serialized *as accumulated* (raw
+        running sums), not recomputed from the window records: the
+        subtract-on-evict float drift it carries is part of the exact
+        state, and a resumed stream must reproduce the uninterrupted
+        run's outputs bit-for-bit.
+        """
+        return {
+            "recent": [list(rec) for rec in self._recent],
+            "roll": self._roll.state_dict(),
+            "total": self._total.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output onto a same-config instance."""
+        recent = [tuple(rec) for rec in state["recent"]]
+        if len(recent) > self.window:
+            raise ValueError(
+                f"{len(recent)} saved window records exceed window {self.window}"
+            )
+        self._recent = deque(recent)
+        self._roll.load_state_dict(state["roll"])
+        self._total.load_state_dict(state["total"])
 
     def rolling_mape(self) -> float:
         """Mean APE over the current window (NaN when empty)."""

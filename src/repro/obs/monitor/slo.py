@@ -89,6 +89,25 @@ class _Objective:
         if len(self._recent) > self.window:
             self._recent_violations -= self._recent.popleft()
 
+    def state_dict(self) -> dict:
+        return {
+            "n": self.n,
+            "violations": self.violations,
+            "recent": list(self._recent),
+            "recent_violations": self._recent_violations,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        recent = [int(v) for v in state["recent"]]
+        if len(recent) > self.window:
+            raise ValueError(
+                f"{len(recent)} saved window records exceed window {self.window}"
+            )
+        self.n = int(state["n"])
+        self.violations = int(state["violations"])
+        self._recent = deque(recent)
+        self._recent_violations = int(state["recent_violations"])
+
     @property
     def budget_consumed(self) -> float:
         """Lifetime violations / lifetime budget (>= 1 means breached)."""
@@ -181,6 +200,25 @@ class SLOTracker:
         acc = self.objectives.get("accuracy")
         if acc is not None and ape is not None:
             acc.record(ape > acc.bound)
+
+    def state_dict(self) -> dict:
+        """JSON-serializable per-objective ledgers for serving resume."""
+        return {
+            "objectives": {
+                name: obj.state_dict() for name, obj in self.objectives.items()
+            },
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output onto a same-config instance."""
+        saved = state["objectives"]
+        if set(saved) != set(self.objectives):
+            raise ValueError(
+                f"saved objectives {sorted(saved)} do not match configured "
+                f"objectives {sorted(self.objectives)}"
+            )
+        for name, obj_state in saved.items():
+            self.objectives[name].load_state_dict(obj_state)
 
     def health(self) -> HealthReport:
         """Fold every objective into one verdict (worst wins)."""

@@ -54,14 +54,27 @@ Fault kinds
     crowd (:func:`repro.traces.inject_flash_crowd`) scaled by ``arg``
     (default 3.0) into the loaded counts, emulating a demand surge the
     recorded trace never saw.
+``stall``
+    Non-raising, returned to the caller, which owns the arrival clock —
+    planted at ``stream.chunk`` the chunk source delays that chunk's
+    arrival by ``arg`` seconds (default 30.0), emulating a stalled
+    metrics feed; the :class:`~repro.serving.stream.StreamingServer`
+    stall watchdog must degrade to hold-last provisioning and recover
+    when the feed resumes.
+``drop``
+    Non-raising, returned to the caller, which owns the chunk stream —
+    planted at ``stream.chunk`` the source silently loses that chunk (a
+    scraper restart eating a scrape window); the server detects the
+    offset gap and serves the missing intervals in degraded mode.
 
 Spec grammar (``REPRO_FAULTS`` env var or :meth:`FaultInjector.parse`)::
 
     kind@site:at[=arg][,kind@site:at[=arg]...]
 
 where ``site`` is one of ``nn.fit``, ``gp.fit``, ``objective``,
-``serve.predict``, ``adaptive.refit``, ``model.load`` and ``at`` is the
-1-based invocation index at that site (``*`` = every invocation).
+``serve.predict``, ``adaptive.refit``, ``model.load``, ``trace.load``,
+``stream.chunk`` and ``at`` is the 1-based invocation index at that
+site (``*`` = every invocation).
 Example: ``kill@objective:4,linalg@gp.fit:*``.
 """
 
@@ -96,12 +109,13 @@ FAULTS_ENV = "REPRO_FAULTS"
 
 FAULT_KINDS = (
     "nan_loss", "linalg", "slow", "kill", "nan", "boom", "corrupt", "drift",
-    "spike",
+    "spike", "stall", "drop",
 )
 
 #: Known injection sites (informational; unknown sites simply never fire).
 #: The serving-time sites arrived with repro.serving; ``trace.load``
-#: with the autoscale scenario harness.
+#: with the autoscale scenario harness; ``stream.chunk`` with the
+#: streaming serving runtime.
 FAULT_SITES = (
     "nn.fit",
     "gp.fit",
@@ -110,6 +124,7 @@ FAULT_SITES = (
     "adaptive.refit",
     "model.load",
     "trace.load",
+    "stream.chunk",
 )
 
 

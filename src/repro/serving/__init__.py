@@ -9,6 +9,7 @@ misbehaving model degrades service instead of corrupting provisioning:
 ``repro.serving.guard``     guarded predictions + fallback chain
 ``repro.serving.breaker``   circuit breaker shedding a sick model
 ``repro.serving.online``    guarded walk-forward → autoscaler loop
+``repro.serving.stream``    chunked feed + checkpoints + crash resume
 =========================  ===========================================
 
 Quick use::
@@ -28,6 +29,14 @@ from repro.serving.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
 from repro.serving.guard import CorruptModelError, GuardedPredictor, default_fallbacks
 from repro.serving.online import ServingReport, daily_period, serve_and_simulate
 from repro.serving.sanitize import REPAIR_POLICIES, DataQualityReport, TraceSanitizer
+from repro.serving.stream import (
+    CheckpointError,
+    StreamChunk,
+    StreamConfig,
+    StreamingServer,
+    StreamStalled,
+    chunk_stream,
+)
 
 __all__ = [
     "REPAIR_POLICIES",
@@ -43,4 +52,10 @@ __all__ = [
     "ServingReport",
     "daily_period",
     "serve_and_simulate",
+    "CheckpointError",
+    "StreamChunk",
+    "StreamConfig",
+    "StreamStalled",
+    "StreamingServer",
+    "chunk_stream",
 ]

@@ -226,6 +226,42 @@ class GuardedPredictor(Predictor):
         return value
 
     # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-serializable mutable serving state.
+
+        Covers the per-stage serve counts, the latched drift shift, the
+        nested breaker state, and — when the primary itself exposes
+        ``state_dict`` (e.g. :class:`~repro.core.adaptive.AdaptiveLoadDynamics`)
+        — the primary's state.  Frozen models and the stateless baseline
+        fallbacks carry no mutable serving state, so they are not
+        serialized here.
+        """
+        out: dict = {
+            "served_by": dict(self.served_by),
+            "drift_shift": self._drift_shift,
+            "breaker": self.breaker.state_dict(),
+        }
+        if self.primary is not None and hasattr(self.primary, "state_dict"):
+            out["primary"] = self.primary.state_dict()
+        return out
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output onto a same-config instance."""
+        self.served_by = {str(k): int(v) for k, v in state["served_by"].items()}
+        shift = state["drift_shift"]
+        self._drift_shift = float(shift) if shift is not None else None
+        self.breaker.load_state_dict(state["breaker"])
+        if "primary" in state:
+            if self.primary is None or not hasattr(self.primary, "load_state_dict"):
+                raise ValueError(
+                    "saved state carries primary-predictor state but the "
+                    "configured primary cannot load it"
+                )
+            self.primary.load_state_dict(state["primary"])
+
+    # ------------------------------------------------------------------
     # Predictor protocol
     # ------------------------------------------------------------------
     def fit(self, history: np.ndarray) -> "GuardedPredictor":

@@ -37,6 +37,8 @@ from repro.serving.guard import GuardedPredictor
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.autoscale.controller import HybridController
     from repro.obs.monitor.monitor import ForecastMonitor
+    from repro.serving.sanitize import TraceSanitizer
+    from repro.serving.stream import StreamConfig
 
 __all__ = ["ServingReport", "daily_period", "serve_and_simulate"]
 
@@ -78,6 +80,10 @@ class ServingReport:
     #: :meth:`HybridController.snapshot` (decided_by counts, rail hits,
     #: burst state), when the run was closed-loop.
     controller: dict | None = None
+    #: :meth:`~repro.serving.stream.StreamingServer.summary` — chunk,
+    #: quarantine, stall, shed, and checkpoint accounting — when the run
+    #: was streamed.
+    stream: dict | None = None
 
     @property
     def n_fallback_serves(self) -> int:
@@ -188,6 +194,8 @@ def serve_and_simulate(
     seed: int = 0,
     monitor: "ForecastMonitor | None" = None,
     controller: "HybridController | None" = None,
+    stream: "StreamConfig | None" = None,
+    sanitizer: "TraceSanitizer | None" = None,
 ) -> ServingReport:
     """Walk ``predictor`` over ``arrivals[start:]`` and simulate the result.
 
@@ -208,6 +216,14 @@ def serve_and_simulate(
     degradation) become the schedule; the report gains the controller
     snapshot and the breaker state.
 
+    ``stream`` replaces the batch walk with the chunked
+    :class:`~repro.serving.stream.StreamingServer`: ``arrivals[start:]``
+    arrives as a deterministic chunk sequence with per-chunk
+    re-sanitation (``sanitizer``, default interpolate-policy), stall
+    watchdog, backpressure, and — with a ``checkpoint_dir`` configured —
+    crash-safe checkpoints the ``resume`` flag restores from.  The
+    streaming path is univariate (the feed is one metric).
+
     2-D ``(steps, D)`` arrivals drive a multivariate predictor: the
     full history walks into the predictor while the target channel
     (``predictor.target_channel``, default 0) feeds the bound checks,
@@ -219,6 +235,29 @@ def serve_and_simulate(
     else:
         a = a.ravel()
         target = a
+    if stream is not None:
+        if a.ndim != 1:
+            raise ValueError(
+                "streaming serving is univariate; pass a 1-D trace"
+            )
+        if not 0 < start <= a.size:
+            raise ValueError(
+                f"invalid start {start} for series of length {a.size}"
+            )
+        from repro.serving.stream import StreamingServer, chunk_stream
+
+        server = StreamingServer(
+            predictor,
+            a[:start],
+            config=stream,
+            sanitizer=sanitizer,
+            monitor=monitor,
+            controller=controller,
+            spec=spec,
+            seed=seed,
+            refit_every=refit_every,
+        )
+        return server.run(chunk_stream(a[start:], config=stream))
     if controller is not None:
         schedule = _controller_walk(
             predictor, a, target, start, refit_every, controller, monitor

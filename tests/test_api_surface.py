@@ -64,6 +64,7 @@ MODULES = PACKAGES + [
     "repro.serving.guard",
     "repro.serving.breaker",
     "repro.serving.online",
+    "repro.serving.stream",
 ]
 
 
